@@ -1,0 +1,181 @@
+// Package cadmc is a from-scratch Go reproduction of "Context-Aware Deep
+// Model Compression for Edge Cloud Computing" (Wang et al., ICDCS 2020).
+//
+// The paper's decision engine jointly searches DNN partition (where to split
+// execution between an edge device and the cloud) and DNN compression (how to
+// structurally shrink the edge-resident part), using two LSTM controllers
+// trained with Monte-Carlo policy gradient. The offline result is a
+// context-aware *model tree*; at inference time a concrete DNN is composed
+// from the tree block by block in response to the measured bandwidth.
+//
+// This facade wires the internal substrates together for the common
+// workflows; everything it returns exposes the full internal API:
+//
+//	eng, _ := cadmc.New(cadmc.Options{Model: "VGG11", Device: "Phone",
+//	    Scenario: "4G outdoor quick"})
+//	artifacts, _ := eng.Train()                     // offline phase
+//	rows, _ := artifacts.Run(cadmc.Emulation())     // replay a trace
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package cadmc
+
+import (
+	"fmt"
+	"os"
+
+	"cadmc/internal/core"
+	"cadmc/internal/emulator"
+	"cadmc/internal/network"
+	"cadmc/internal/nn"
+)
+
+// Re-exported core types. The type aliases keep one set of definitions while
+// letting callers stay inside this package for the common workflow.
+type (
+	// Options selects the base model, the edge device and the network
+	// scenario of a run.
+	Options struct {
+		// Model is a zoo name: VGG11, VGG19, AlexNet, ResNet50/101/152.
+		Model string
+		// Device is the edge platform: "Phone" (Xiaomi MI 6X profile) or
+		// "TX2" (Jetson TX2 profile).
+		Device string
+		// Scenario is a network-context name from ScenarioNames.
+		Scenario string
+		// TraceSeed makes the bandwidth trace reproducible (default 1).
+		TraceSeed int64
+		// Train sizes the offline searches; zero fields take defaults.
+		Train emulator.TrainOptions
+	}
+
+	// Engine is a configured reproduction instance.
+	Engine struct {
+		spec emulator.ScenarioSpec
+		opts emulator.TrainOptions
+	}
+
+	// Artifacts bundles one scenario's offline outputs: the problem, the
+	// model tree, the per-class optimal branches and the training rewards.
+	Artifacts = emulator.TrainedScenario
+
+	// Result is one policy's replay outcome.
+	Result = emulator.Result
+
+	// Config parameterises a replay.
+	Config = emulator.Config
+
+	// ModelTree is the offline artifact composed at runtime.
+	ModelTree = core.ModelTree
+
+	// Model is a DNN architecture.
+	Model = nn.Model
+)
+
+// ScenarioNames lists the supported network contexts (the rows of the
+// paper's Tables III–V).
+func ScenarioNames() []string {
+	cat := network.Catalog()
+	names := make([]string, len(cat))
+	for i, s := range cat {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// New validates the options and returns an engine.
+func New(opts Options) (*Engine, error) {
+	if opts.Model == "" {
+		opts.Model = "VGG11"
+	}
+	if opts.Device == "" {
+		opts.Device = "Phone"
+	}
+	if opts.Scenario == "" {
+		opts.Scenario = "4G indoor static"
+	}
+	if opts.TraceSeed == 0 {
+		opts.TraceSeed = 1
+	}
+	if _, err := network.ByName(opts.Scenario); err != nil {
+		return nil, fmt.Errorf("cadmc: %w", err)
+	}
+	if _, err := nn.Zoo(opts.Model, nn.CIFARInput, nn.CIFARClasses); err != nil {
+		return nil, fmt.Errorf("cadmc: %w", err)
+	}
+	train := opts.Train
+	def := emulator.DefaultTrainOptions()
+	if train.TreeEpisodes <= 0 {
+		train.TreeEpisodes = def.TreeEpisodes
+	}
+	if train.BranchEpisodes <= 0 {
+		train.BranchEpisodes = def.BranchEpisodes
+	}
+	if train.Blocks <= 0 {
+		train.Blocks = def.Blocks
+	}
+	if train.Classes <= 0 {
+		train.Classes = def.Classes
+	}
+	if train.TraceMS <= 0 {
+		train.TraceMS = def.TraceMS
+	}
+	if train.Seed == 0 {
+		train.Seed = def.Seed
+	}
+	return &Engine{
+		spec: emulator.ScenarioSpec{
+			ModelName:  opts.Model,
+			DeviceName: opts.Device,
+			EnvName:    opts.Scenario,
+			TraceSeed:  opts.TraceSeed,
+		},
+		opts: train,
+	}, nil
+}
+
+// Train runs the offline phase: trace generation, bandwidth-class
+// extraction, per-class optimal-branch searches (Alg. 1) and the model-tree
+// search (Alg. 3).
+func (e *Engine) Train() (*Artifacts, error) {
+	return emulator.Train(e.spec, e.opts)
+}
+
+// Emulation returns the replay configuration of the paper's Table IV:
+// decisions read the trace exactly and realised latency equals the model's
+// estimate.
+func Emulation() Config { return emulator.DefaultConfig(emulator.ModeEmulation) }
+
+// Field returns the replay configuration of the paper's Table V: realised
+// latency carries model error, and decisions rely on a coarse, stale
+// bandwidth estimator.
+func Field() Config { return emulator.DefaultConfig(emulator.ModeField) }
+
+// SaveArtifacts writes a trained scenario's offline artifacts (model tree,
+// per-class branches, training rewards) as JSON. The problem and trace are
+// not stored; they rebuild deterministically on load.
+func SaveArtifacts(path string, a *Artifacts) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cadmc: save artifacts: %w", err)
+	}
+	if err := a.Save(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cadmc: save artifacts: %w", err)
+	}
+	return nil
+}
+
+// LoadArtifacts restores artifacts written by SaveArtifacts; the result can
+// Run replays exactly as the original.
+func LoadArtifacts(path string) (*Artifacts, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cadmc: load artifacts: %w", err)
+	}
+	defer f.Close()
+	return emulator.Load(f)
+}

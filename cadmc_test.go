@@ -1,0 +1,105 @@
+package cadmc
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestScenarioNames(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != 7 {
+		t.Fatalf("got %d scenario names, want 7", len(names))
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	eng, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.spec.ModelName != "VGG11" || eng.spec.DeviceName != "Phone" {
+		t.Fatalf("defaults wrong: %+v", eng.spec)
+	}
+	if eng.opts.Blocks != 3 || eng.opts.Classes != 2 {
+		t.Fatalf("paper defaults N=3, K=2; got %+v", eng.opts)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Scenario: "tin cans and string"}); err == nil {
+		t.Fatal("expected unknown-scenario error")
+	}
+	if _, err := New(Options{Model: "Perceptron"}); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	eng, err := New(Options{Model: "AlexNet", Scenario: "WiFi (weak) indoor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the budgets so the facade smoke test stays fast.
+	eng.opts.TreeEpisodes = 30
+	eng.opts.BranchEpisodes = 40
+	eng.opts.TraceMS = 60_000
+	artifacts, err := eng.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifacts.Tree == nil || len(artifacts.Branches) != 2 {
+		t.Fatal("facade training incomplete")
+	}
+	rows, err := artifacts.Run(Emulation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d policy rows, want 3", len(rows))
+	}
+	fieldRows, err := artifacts.Run(Field())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fieldRows[2].MeanReward >= rows[2].MeanReward {
+		t.Fatal("field reward must fall below emulation")
+	}
+}
+
+func TestArtifactsPersistence(t *testing.T) {
+	eng, err := New(Options{Model: "AlexNet", Scenario: "4G indoor static"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.opts.TreeEpisodes = 25
+	eng.opts.BranchEpisodes = 30
+	eng.opts.TraceMS = 60_000
+	artifacts, err := eng.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "artifacts.json")
+	if err := SaveArtifacts(path, artifacts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArtifacts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := artifacts.Run(Emulation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Run(Emulation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("replay differs after reload: %+v vs %+v", want[i], got[i])
+		}
+	}
+	if _, err := LoadArtifacts(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}

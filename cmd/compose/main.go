@@ -1,0 +1,125 @@
+// Command compose loads a model tree written by offline-train and composes a
+// concrete DNN from it (Alg. 2) against a sequence of bandwidth
+// measurements, printing the branch taken and the resulting deployment.
+//
+// Usage:
+//
+//	offline-train -out tree.json
+//	compose -tree tree.json -bandwidths 1.2,5.0,0.4
+//	compose -tree tree.json -scenario "4G outdoor quick" -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cadmc/internal/core"
+	"cadmc/internal/network"
+)
+
+func main() {
+	treePath := flag.String("tree", "", "path to a model-tree JSON file (required)")
+	bandwidths := flag.String("bandwidths", "", "comma-separated Mbps measurements, one per block boundary")
+	scenario := flag.String("scenario", "", "draw measurements from this scenario's trace instead")
+	seed := flag.Int64("seed", 1, "trace seed when -scenario is used")
+	flag.Parse()
+
+	if err := run(*treePath, *bandwidths, *scenario, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "compose:", err)
+		os.Exit(1)
+	}
+}
+
+func run(treePath, bandwidths, scenario string, seed int64) error {
+	if treePath == "" {
+		return fmt.Errorf("-tree is required")
+	}
+	data, err := os.ReadFile(treePath)
+	if err != nil {
+		return fmt.Errorf("read tree: %w", err)
+	}
+	var tree core.ModelTree
+	if err := json.Unmarshal(data, &tree); err != nil {
+		return fmt.Errorf("decode tree: %w", err)
+	}
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("invalid tree: %w", err)
+	}
+	fmt.Printf("model tree: base %s, %d blocks, classes %v Mbps\n",
+		tree.Base.Name, len(tree.Blocks), tree.ClassMbps)
+
+	measure, err := measurements(bandwidths, scenario, seed)
+	if err != nil {
+		return err
+	}
+	rt, err := core.NewRuntime(&tree)
+	if err != nil {
+		return err
+	}
+	step := 0
+	for !rt.Done() {
+		w := measure(step)
+		node, err := rt.Advance(w)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("block %d: measured %.2f Mbps -> fork %d (%d edge layers, partitioned=%v)\n",
+			node.BlockIdx, w, node.Fork, len(node.EdgeLayers), node.Partitioned())
+		step++
+	}
+	cand, err := rt.Candidate()
+	if err != nil {
+		return err
+	}
+	maccs, err := cand.Model.MACCs()
+	if err != nil {
+		return err
+	}
+	where := "runs fully on the edge"
+	if cand.Cut < len(cand.Model.Layers)-1 {
+		where = fmt.Sprintf("offloads after layer %d", cand.Cut)
+	}
+	fmt.Printf("\ncomposed DNN: %d layers, %.1fM MACCs, %s\n",
+		len(cand.Model.Layers), float64(maccs)/1e6, where)
+	return nil
+}
+
+// measurements returns a bandwidth source indexed by decision step.
+func measurements(bandwidths, scenario string, seed int64) (func(int) float64, error) {
+	if bandwidths != "" {
+		parts := strings.Split(bandwidths, ",")
+		vals := make([]float64, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad bandwidth %q: %w", p, err)
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("no bandwidths given")
+		}
+		return func(i int) float64 {
+			if i >= len(vals) {
+				return vals[len(vals)-1]
+			}
+			return vals[i]
+		}, nil
+	}
+	if scenario == "" {
+		return nil, fmt.Errorf("provide -bandwidths or -scenario")
+	}
+	sc, err := network.ByName(scenario)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := network.Generate(sc, seed, 60_000)
+	if err != nil {
+		return nil, err
+	}
+	return func(i int) float64 { return trace.At(float64(i) * 40) }, nil
+}

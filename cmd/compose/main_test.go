@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cadmc/internal/emulator"
+)
+
+func writeTree(t *testing.T) string {
+	t.Helper()
+	opts := emulator.DefaultTrainOptions()
+	opts.TreeEpisodes = 20
+	opts.BranchEpisodes = 30
+	opts.TraceMS = 60_000
+	ts, err := emulator.Train(emulator.ScenarioSpec{
+		ModelName: "AlexNet", DeviceName: "Phone",
+		EnvName: "4G indoor static", TraceSeed: 5,
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ts.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tree.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunComposesFromBandwidths(t *testing.T) {
+	path := writeTree(t)
+	if err := run(path, "0.5,6.0", "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", "4G indoor static", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "1,2", "", 1); err == nil {
+		t.Fatal("expected missing-tree error")
+	}
+	if err := run("/nonexistent/tree.json", "1,2", "", 1); err == nil {
+		t.Fatal("expected read error")
+	}
+	path := writeTree(t)
+	if err := run(path, "", "", 1); err == nil {
+		t.Fatal("expected missing-measurements error")
+	}
+	if err := run(path, "abc", "", 1); err == nil {
+		t.Fatal("expected bad-bandwidth error")
+	}
+	if err := run(path, "", "underwater", 1); err == nil {
+		t.Fatal("expected unknown-scenario error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "1", "", 1); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

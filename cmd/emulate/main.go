@@ -1,0 +1,87 @@
+// Command emulate trains one (or all) of the paper's evaluation scenarios
+// and replays it against the three deployment policies in emulation or field
+// mode, printing Table IV / Table V style rows.
+//
+// Usage:
+//
+//	emulate -mode emulation                       # all 14 scenarios
+//	emulate -mode field -model AlexNet -scenario "WiFi (weak) indoor"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cadmc/internal/emulator"
+)
+
+func main() {
+	mode := flag.String("mode", "emulation", "replay mode: emulation or field")
+	model := flag.String("model", "", "restrict to one base model (VGG11 or AlexNet)")
+	device := flag.String("device", "", "restrict to one device (Phone or TX2)")
+	scenario := flag.String("scenario", "", "restrict to one network scenario")
+	quick := flag.Bool("quick", false, "use reduced training budgets")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*mode, *model, *device, *scenario, *quick, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "emulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modeName, model, device, scenario string, quick bool, seed int64) error {
+	var mode emulator.Mode
+	switch modeName {
+	case "emulation":
+		mode = emulator.ModeEmulation
+	case "field":
+		mode = emulator.ModeField
+	default:
+		return fmt.Errorf("unknown mode %q (want emulation or field)", modeName)
+	}
+	opts := emulator.DefaultTrainOptions()
+	if quick {
+		opts.TreeEpisodes = 40
+		opts.BranchEpisodes = 50
+		opts.TraceMS = 120_000
+	}
+	opts.Seed = seed
+
+	specs := emulator.PaperScenarios()
+	selected := make([]emulator.ScenarioSpec, 0, len(specs))
+	for _, s := range specs {
+		if model != "" && s.ModelName != model {
+			continue
+		}
+		if device != "" && s.DeviceName != device {
+			continue
+		}
+		if scenario != "" && s.EnvName != scenario {
+			continue
+		}
+		selected = append(selected, s)
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no scenario matches model=%q device=%q scenario=%q", model, device, scenario)
+	}
+	fmt.Printf("%-36s | %-26s | %-26s | %-23s\n",
+		"Scenario ("+modeName+")", "reward S/B/T", "latency ms S/B/T", "accuracy % S/B/T")
+	for _, spec := range selected {
+		ts, err := emulator.Train(spec, opts)
+		if err != nil {
+			return fmt.Errorf("train %s: %w", spec, err)
+		}
+		rs, err := ts.Run(emulator.DefaultConfig(mode))
+		if err != nil {
+			return fmt.Errorf("run %s: %w", spec, err)
+		}
+		fmt.Printf("%-36s | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %7.2f %7.2f %7.2f\n",
+			spec,
+			rs[0].MeanReward, rs[1].MeanReward, rs[2].MeanReward,
+			rs[0].MeanLatencyMS, rs[1].MeanLatencyMS, rs[2].MeanLatencyMS,
+			rs[0].MeanAccuracy, rs[1].MeanAccuracy, rs[2].MeanAccuracy)
+	}
+	return nil
+}

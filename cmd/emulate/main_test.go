@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSingleScenario(t *testing.T) {
+	if err := run("emulation", "AlexNet", "Phone", "4G indoor static", true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("teleportation", "", "", "", true, 1); err == nil {
+		t.Fatal("expected unknown-mode error")
+	}
+	if err := run("field", "LeNet", "", "", true, 1); err == nil {
+		t.Fatal("expected empty-selection error")
+	}
+}

@@ -1,0 +1,78 @@
+// Command offline-train runs the paper's offline phase for one scenario —
+// per-class optimal-branch searches (Alg. 1) plus the model-tree search
+// (Alg. 3) — prints the training rewards, and optionally writes the model
+// tree as JSON for later composition.
+//
+// Usage:
+//
+//	offline-train -model VGG11 -device Phone -scenario "4G outdoor quick" -out tree.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cadmc/internal/emulator"
+)
+
+func main() {
+	model := flag.String("model", "VGG11", "base model: VGG11 or AlexNet")
+	device := flag.String("device", "Phone", "edge device: Phone or TX2")
+	scenario := flag.String("scenario", "4G indoor static", "network scenario name")
+	episodes := flag.Int("episodes", 150, "tree-search episode budget")
+	branchEpisodes := flag.Int("branch-episodes", 120, "per-class branch-search episode budget")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "path to write the model tree JSON (optional)")
+	flag.Parse()
+
+	if err := run(*model, *device, *scenario, *episodes, *branchEpisodes, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "offline-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, device, scenario string, episodes, branchEpisodes int, seed int64, out string) error {
+	opts := emulator.DefaultTrainOptions()
+	opts.TreeEpisodes = episodes
+	opts.BranchEpisodes = branchEpisodes
+	opts.Seed = seed
+	spec := emulator.ScenarioSpec{
+		ModelName:  model,
+		DeviceName: device,
+		EnvName:    scenario,
+		TraceSeed:  seed,
+	}
+	ts, err := emulator.Train(spec, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario      %s\n", spec)
+	fmt.Printf("classes       %.2f / %.2f Mbps (poor / good)\n", ts.Classes[0], ts.Classes[len(ts.Classes)-1])
+	fmt.Printf("surgery       %.2f\n", ts.SurgeryReward)
+	fmt.Printf("branch        %.2f\n", ts.BranchReward)
+	fmt.Printf("tree          %.2f (best branch %.2f)\n", ts.TreeReward, ts.BestTreeReward)
+	for k, br := range ts.Branches {
+		fmt.Printf("branch[%d]     cut=%d reward=%.2f latency=%.2fms accuracy=%.2f%%\n",
+			k, br.BaseCut, br.Metrics.Reward, br.Metrics.LatencyMS, br.Metrics.AccuracyPct)
+	}
+	st, err := ts.Tree.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tree stats    %d nodes, %d branches (%d partitioned), edge storage %.2f MB\n",
+		st.Nodes, st.Branches, st.Partitioned, float64(st.EdgeStorageBytes)/1e6)
+	if out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(ts.Tree, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode tree: %w", err)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fmt.Errorf("write tree: %w", err)
+	}
+	fmt.Printf("model tree    written to %s (%d bytes)\n", out, len(data))
+	return nil
+}

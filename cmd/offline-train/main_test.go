@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTrainsAndWritesTree(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tree.json")
+	if err := run("AlexNet", "Phone", "4G indoor static", 20, 30, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("tree file is empty")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("LeNet", "Phone", "4G indoor static", 10, 10, 1, ""); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+	if err := run("AlexNet", "Phone", "nowhere", 10, 10, 1, ""); err == nil {
+		t.Fatal("expected unknown-scenario error")
+	}
+}

@@ -1,0 +1,135 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section, printing measured values alongside the published ones.
+//
+// Usage:
+//
+//	tables -what all            # everything (Tables I–V, Figs 1/5/7/8)
+//	tables -what table4         # one artifact
+//	tables -what table3 -quick  # reduced budgets for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cadmc/internal/emulator"
+	"cadmc/internal/report"
+)
+
+func main() {
+	what := flag.String("what", "all",
+		"artifact to regenerate: all, table1, table2, table3, table4, table5, fig1, fig5, fig7, fig8")
+	quick := flag.Bool("quick", false, "use reduced search budgets")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	if err := run(strings.ToLower(*what), *quick, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(what string, quick bool, seed int64) error {
+	opts := emulator.DefaultTrainOptions()
+	fig7Episodes := 150
+	if quick {
+		opts.TreeEpisodes = 40
+		opts.BranchEpisodes = 50
+		opts.TraceMS = 120_000
+		fig7Episodes = 40
+	}
+	opts.Seed = seed
+
+	needEval := what == "all" || what == "table3" || what == "table4" || what == "table5"
+	var ev *report.Evaluation
+	if needEval {
+		var err error
+		ev, err = report.Evaluate(nil, opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	show := func(name string, f func() (string, error)) error {
+		if what != "all" && what != name {
+			return nil
+		}
+		s, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(s)
+		return nil
+	}
+
+	steps := []struct {
+		name string
+		f    func() (string, error)
+	}{
+		{"table1", func() (string, error) {
+			rows, err := report.TableI()
+			if err != nil {
+				return "", err
+			}
+			return report.RenderTableI(rows), nil
+		}},
+		{"fig1", func() (string, error) {
+			series, err := report.Fig1(seed)
+			if err != nil {
+				return "", err
+			}
+			return report.RenderFig1(series), nil
+		}},
+		{"table2", func() (string, error) {
+			return report.RenderTableII(report.TableII()), nil
+		}},
+		{"fig5", func() (string, error) {
+			fits, err := report.Fig5(seed)
+			if err != nil {
+				return "", err
+			}
+			return report.RenderFig5(fits), nil
+		}},
+		{"fig7", func() (string, error) {
+			curves, err := report.Fig7(fig7Episodes, seed)
+			if err != nil {
+				return "", err
+			}
+			return report.RenderFig7(curves), nil
+		}},
+		{"fig8", func() (string, error) {
+			rows, err := report.Fig8(seed)
+			if err != nil {
+				return "", err
+			}
+			return report.RenderFig8(rows), nil
+		}},
+		{"table3", func() (string, error) { return report.RenderTableIII(ev), nil }},
+		{"table4", func() (string, error) { return report.RenderTableIV(ev), nil }},
+		{"table5", func() (string, error) {
+			out := report.RenderTableV(ev)
+			for model, h := range report.Headlines(ev) {
+				out += fmt.Sprintf("headline %s: %.1f%% latency reduction at %.2f%% accuracy loss (paper: 30-50%% at ~1%%)\n",
+					model, h.LatencyReductionPct, h.AccuracyLossPct)
+			}
+			return out, nil
+		}},
+	}
+	known := what == "all"
+	for _, s := range steps {
+		if s.name == what {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown artifact %q", what)
+	}
+	for _, s := range steps {
+		if err := show(s.name, s.f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunSingleArtifacts(t *testing.T) {
+	for _, what := range []string{"table1", "table2", "fig1", "fig5"} {
+		if err := run(what, true, 1); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run("table99", true, 1); err == nil {
+		t.Fatal("expected unknown-artifact error")
+	}
+}

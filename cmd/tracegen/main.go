@@ -1,0 +1,60 @@
+// Command tracegen emits synthetic bandwidth traces (the Fig. 1 series) as
+// CSV on stdout, one row per 100 ms sample.
+//
+// Usage:
+//
+//	tracegen -scenario "4G outdoor quick" -seconds 60 -seed 1
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"cadmc/internal/network"
+)
+
+func main() {
+	scenario := flag.String("scenario", "4G outdoor quick", "network scenario name")
+	seconds := flag.Float64("seconds", 60, "trace duration in seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list scenario names and exit")
+	stats := flag.Bool("stats", false, "print summary statistics instead of samples")
+	flag.Parse()
+
+	if err := run(*scenario, *seconds, *seed, *list, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, seconds float64, seed int64, list, stats bool) error {
+	if list {
+		for _, s := range network.Catalog() {
+			fmt.Printf("%-24s mean %.1f Mbps, RTT %.0f ms\n", s.Name, s.MeanMbps, s.RTTMS)
+		}
+		return nil
+	}
+	sc, err := network.ByName(scenario)
+	if err != nil {
+		return err
+	}
+	trace, err := network.Generate(sc, seed, seconds*1000)
+	if err != nil {
+		return err
+	}
+	if stats {
+		st := trace.Summarize()
+		fmt.Printf("scenario=%s mean=%.2f std=%.2f min=%.2f max=%.2f change/s=%.3f\n",
+			scenario, st.MeanMbps, st.StdMbps, st.MinMbps, st.MaxMbps, st.MeanAbsChangePerSec)
+		return nil
+	}
+	fmt.Println("time_ms,bandwidth_mbps")
+	for i, w := range trace.Mbps {
+		fmt.Println(strconv.FormatFloat(float64(i)*trace.PeriodMS, 'f', 0, 64) + "," +
+			strconv.FormatFloat(w, 'f', 4, 64))
+	}
+	return nil
+}

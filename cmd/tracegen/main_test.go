@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	if err := run("", 0, 0, true, false); err != nil {
+		t.Fatalf("list mode: %v", err)
+	}
+	if err := run("4G indoor static", 2, 1, false, true); err != nil {
+		t.Fatalf("stats mode: %v", err)
+	}
+	if err := run("4G indoor static", 1, 1, false, false); err != nil {
+		t.Fatalf("csv mode: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("no such scenario", 10, 1, false, false); err == nil {
+		t.Fatal("expected unknown-scenario error")
+	}
+	if err := run("4G indoor static", -1, 1, false, false); err == nil {
+		t.Fatal("expected duration error")
+	}
+}

@@ -1,0 +1,3 @@
+module cadmc
+
+go 1.22

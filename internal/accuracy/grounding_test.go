@@ -1,0 +1,214 @@
+package accuracy
+
+import (
+	"math/rand"
+	"testing"
+
+	"cadmc/internal/compress"
+	"cadmc/internal/dataset"
+	"cadmc/internal/nn"
+	"cadmc/internal/tensor"
+)
+
+// TestGroundingOracleAssumptions validates the oracle's qualitative model on
+// a real train/compress/retrain loop: a CNN is actually trained on the
+// synthetic dataset, real SVD/pruning transforms are applied to its weights,
+// and the measured accuracy must exhibit the orderings the oracle assumes:
+//
+//  1. compression costs accuracy (or at least never helps materially),
+//  2. more aggressive compression costs more,
+//  3. knowledge distillation after transform recovers part of the loss.
+func TestGroundingOracleAssumptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grounding loop skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(99))
+	cfg := dataset.DefaultConfig()
+	set, err := dataset.Generate(cfg, 300, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &nn.Model{
+		Name:    "groundcnn",
+		Input:   nn.Shape{C: cfg.Channels, H: cfg.Size, W: cfg.Size},
+		Classes: cfg.Classes,
+		Layers: []nn.Layer{
+			nn.NewConv(3, 8, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewConv(8, 16, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewFlatten(),
+			nn.NewFC(16*4*4, 32),
+			nn.NewReLU(),
+			nn.NewFC(32, cfg.Classes),
+		},
+	}
+	net, err := nn.NewNet(model, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train(t, net, set.Train, nil, 10, 0.05, rng)
+	baseAcc := testAccuracy(t, net, set.Test)
+	if baseAcc < 0.6 {
+		t.Fatalf("base CNN accuracy %.2f — dataset must be learnable", baseAcc)
+	}
+
+	// Teacher logits for distillation.
+	teacher := make([]*tensor.Tensor, len(set.Train))
+	for i, s := range set.Train {
+		logits, err := net.Forward(s.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		teacher[i] = logits
+	}
+
+	// (1)+(2) SVD at two ranks, no retraining: monotone degradation.
+	hi, err := compress.ApplyWithWeights(net, 7, compress.Technique{ID: compress.F1, RankRatio: 0.8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := compress.ApplyWithWeights(net, 7, compress.Technique{ID: compress.F1, RankRatio: 0.07}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiAcc := testAccuracy(t, hi, set.Test)
+	loAcc := testAccuracy(t, lo, set.Test)
+	if hiAcc < baseAcc-0.12 {
+		t.Errorf("rank-0.8 SVD dropped accuracy %.2f -> %.2f — mild compression must be mild", baseAcc, hiAcc)
+	}
+	if loAcc > hiAcc+0.02 {
+		t.Errorf("rank-0.07 SVD (%.2f) must not beat rank-0.8 (%.2f)", loAcc, hiAcc)
+	}
+
+	// (3) Distillation fine-tune recovers part of a pruning loss.
+	pruned, err := compress.ApplyWithWeights(net, 3, compress.Technique{ID: compress.W1, KeepRatio: 0.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedAcc := testAccuracy(t, pruned, set.Test)
+	train(t, pruned, set.Train, teacher, 6, 0.03, rng)
+	distilledAcc := testAccuracy(t, pruned, set.Test)
+	if distilledAcc < prunedAcc-0.05 {
+		t.Errorf("distillation must not hurt: %.2f -> %.2f", prunedAcc, distilledAcc)
+	}
+	if distilledAcc < baseAcc-0.15 {
+		t.Errorf("distilled pruned model %.2f too far below base %.2f", distilledAcc, baseAcc)
+	}
+	t.Logf("grounding: base %.3f | svd(hi) %.3f | svd(lo) %.3f | pruned %.3f | pruned+distill %.3f",
+		baseAcc, hiAcc, loAcc, prunedAcc, distilledAcc)
+}
+
+func train(t *testing.T, net *nn.Net, samples []dataset.Sample, teacher []*tensor.Tensor, epochs int, lr float64, rng *rand.Rand) {
+	t.Helper()
+	g := net.NewGrads()
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	const batch = 16
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for b := 0; b < len(idx); b += batch {
+			end := b + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, i := range idx[b:end] {
+				var tt *tensor.Tensor
+				if teacher != nil {
+					tt = teacher[i]
+				}
+				if _, err := net.TrainSample(samples[i].Image, samples[i].Label, tt, g); err != nil {
+					t.Fatal(err)
+				}
+			}
+			net.Step(g, lr, end-b)
+		}
+	}
+}
+
+func testAccuracy(t *testing.T, net *nn.Net, samples []dataset.Sample) float64 {
+	t.Helper()
+	correct := 0
+	for _, s := range samples {
+		pred, err := net.Predict(s.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// TestGroundingFireRetraining validates the oracle's treatment of
+// structure-replacing techniques (C3): a Fire module replaces a trained conv
+// with fresh weights, accuracy collapses, and distillation fine-tuning
+// recovers most of it — the paper's branch-by-branch retraining recipe.
+func TestGroundingFireRetraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grounding loop skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(123))
+	cfg := dataset.DefaultConfig()
+	set, err := dataset.Generate(cfg, 240, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := &nn.Model{
+		Name:    "firecnn",
+		Input:   nn.Shape{C: cfg.Channels, H: cfg.Size, W: cfg.Size},
+		Classes: cfg.Classes,
+		Layers: []nn.Layer{
+			nn.NewConv(3, 8, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewConv(8, 16, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewFlatten(),
+			nn.NewFC(16*4*4, 32),
+			nn.NewReLU(),
+			nn.NewFC(32, cfg.Classes),
+		},
+	}
+	net, err := nn.NewNet(model, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train(t, net, set.Train, nil, 8, 0.05, rng)
+	baseAcc := testAccuracy(t, net, set.Test)
+	if baseAcc < 0.6 {
+		t.Fatalf("base accuracy %.2f too low to ground anything", baseAcc)
+	}
+	teacher := make([]*tensor.Tensor, len(set.Train))
+	for i, s := range set.Train {
+		logits, err := net.Forward(s.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		teacher[i] = logits
+	}
+	// C3 only binds where the input is ≥16 channels, which this small CNN
+	// lacks; C1 exercises the identical fresh-weights code path (a new
+	// structure replaces a trained conv and must be distill-retrained).
+	fresh, err := compress.ApplyWithWeights(net, 3, compress.Technique{ID: compress.C1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshAcc := testAccuracy(t, fresh, set.Test)
+	train(t, fresh, set.Train, teacher, 6, 0.03, rng)
+	retrainedAcc := testAccuracy(t, fresh, set.Test)
+	if retrainedAcc < freshAcc-0.05 {
+		t.Fatalf("distillation hurt: %.2f -> %.2f", freshAcc, retrainedAcc)
+	}
+	if retrainedAcc < baseAcc-0.2 {
+		t.Fatalf("retrained fresh-structure model %.2f too far below base %.2f", retrainedAcc, baseAcc)
+	}
+	t.Logf("fire/mobilenet grounding: base %.3f | fresh %.3f | fresh+distill %.3f",
+		baseAcc, freshAcc, retrainedAcc)
+}

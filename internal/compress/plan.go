@@ -1,0 +1,52 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+
+	"cadmc/internal/nn"
+)
+
+// Action binds a technique to a layer index of the model it is planned
+// against.
+type Action struct {
+	Layer     int
+	Technique Technique
+}
+
+// ApplyPlan applies a set of per-layer actions to m, returning the
+// transformed model and the subset of actions that actually took effect.
+//
+// Actions are applied in descending layer order so earlier indices stay valid
+// while later ones are rewritten; actions that are inapplicable at their site
+// (wrong layer type, site consumed by a previous action such as F3 replacing
+// the whole FC head) are skipped rather than failing the plan — this mirrors
+// the paper's controller, whose per-layer softmax may emit techniques that do
+// not bind.
+func ApplyPlan(m *nn.Model, actions []Action) (*nn.Model, []Action, error) {
+	if m == nil {
+		return nil, nil, fmt.Errorf("compress: nil model")
+	}
+	ordered := make([]Action, len(actions))
+	copy(ordered, actions)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Layer > ordered[j].Layer })
+
+	cur := m.Clone()
+	applied := make([]Action, 0, len(ordered))
+	for _, a := range ordered {
+		if a.Technique.ID == None {
+			continue
+		}
+		if !a.Technique.Applicable(cur, a.Layer) {
+			continue
+		}
+		next, _, err := a.Technique.Apply(cur, a.Layer)
+		if err != nil {
+			// Structurally infeasible at this site; treat as None.
+			continue
+		}
+		cur = next
+		applied = append(applied, a)
+	}
+	return cur, applied, nil
+}

@@ -1,0 +1,273 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cadmc/internal/nn"
+	"cadmc/internal/tensor"
+)
+
+// groundingModel is a small executable CNN with enough structure for every
+// weight-carrying transform to bind.
+func groundingModel() *nn.Model {
+	return &nn.Model{
+		Name:    "ground",
+		Input:   nn.Shape{C: 3, H: 12, W: 12},
+		Classes: 4,
+		Layers: []nn.Layer{
+			nn.NewConv(3, 16, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewConv(16, 32, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewFlatten(),
+			nn.NewFC(32*3*3, 64),
+			nn.NewReLU(),
+			nn.NewFC(64, 4),
+		},
+	}
+}
+
+func TestApplyWithWeightsF1PreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net, err := nn.NewNet(groundingModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a genuinely low-rank weight matrix: trained FC heads are
+	// effectively low-rank, and on a rank-8 matrix a k≥8 truncation must be
+	// near-lossless without any retraining.
+	fcIdx := 7
+	u := tensor.Randn(rng, 0.3, 64, 8)
+	v := tensor.Randn(rng, 0.3, 8, 288)
+	lowRank, err := tensor.MatMul(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(net.Weights[fcIdx].Data, lowRank.Data)
+	tech := Technique{ID: F1, RankRatio: 0.25} // k = 16 ≥ true rank 8
+	compressed, err := ApplyWithWeights(net, fcIdx, tech, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 3, 12, 12)
+	orig, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := compressed.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Data {
+		if math.Abs(orig.Data[i]-got.Data[i]) > 0.05*(1+math.Abs(orig.Data[i])) {
+			t.Fatalf("logit %d: %v vs %v — near-full-rank SVD must preserve the function",
+				i, orig.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestApplyWithWeightsF1LowRankDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	net, err := nn.NewNet(groundingModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcIdx := 7
+	hi, err := ApplyWithWeights(net, fcIdx, Technique{ID: F1, RankRatio: 0.9}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := ApplyWithWeights(net, fcIdx, Technique{ID: F1, RankRatio: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average logit deviation must grow as rank shrinks.
+	devHi, devLo := 0.0, 0.0
+	for trial := 0; trial < 8; trial++ {
+		x := tensor.Randn(rng, 1, 3, 12, 12)
+		orig, _ := net.Forward(x)
+		oh, _ := hi.Forward(x)
+		ol, _ := lo.Forward(x)
+		for i := range orig.Data {
+			devHi += math.Abs(orig.Data[i] - oh.Data[i])
+			devLo += math.Abs(orig.Data[i] - ol.Data[i])
+		}
+	}
+	if devLo <= devHi {
+		t.Fatalf("low-rank deviation (%v) must exceed high-rank deviation (%v)", devLo, devHi)
+	}
+}
+
+func TestApplyWithWeightsW1KeepsLargestFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net, err := nn.NewNet(groundingModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make filter norms strongly non-uniform on conv layer 0: zero out the
+	// first half of the filters so pruning must keep the second half.
+	w := net.Weights[0]
+	fanIn := w.Shape[1]
+	for f := 0; f < 8; f++ {
+		for j := 0; j < fanIn; j++ {
+			w.Data[f*fanIn+j] = 0
+		}
+		net.Biases[0].Data[f] = 0
+	}
+	pruned, err := ApplyWithWeights(net, 0, Technique{ID: W1, KeepRatio: 0.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Model.Layers[0].Out != 8 {
+		t.Fatalf("pruned width = %d, want 8", pruned.Model.Layers[0].Out)
+	}
+	// The surviving filters must be the non-zero originals (8..15), in order.
+	for f := 0; f < 8; f++ {
+		for j := 0; j < fanIn; j++ {
+			if pruned.Weights[0].Data[f*fanIn+j] != w.Data[(8+f)*fanIn+j] {
+				t.Fatalf("filter %d not carried from original filter %d", f, 8+f)
+			}
+		}
+	}
+	// Because the removed filters were exactly zero, the function must be
+	// preserved exactly (ReLU(0)=0 contributes nothing downstream).
+	x := tensor.Randn(rng, 1, 3, 12, 12)
+	orig, _ := net.Forward(x)
+	got, _ := pruned.Forward(x)
+	for i := range orig.Data {
+		if math.Abs(orig.Data[i]-got.Data[i]) > 1e-9 {
+			t.Fatalf("pruning zero filters changed logits: %v vs %v", orig.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestApplyWithWeightsC1Executable(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	net, err := nn.NewNet(groundingModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := ApplyWithWeights(net, 3, Technique{ID: C1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The structure is new (random init) but must execute and train.
+	g := compressed.NewGrads()
+	x := tensor.Randn(rng, 1, 3, 12, 12)
+	if _, err := compressed.TrainSample(x, 1, nil, g); err != nil {
+		t.Fatal(err)
+	}
+	compressed.Step(g, 0.01, 1)
+	origMACCs, _ := net.Model.MACCs()
+	newMACCs, _ := compressed.Model.MACCs()
+	if newMACCs >= origMACCs {
+		t.Fatal("C1 must reduce MACCs")
+	}
+}
+
+func TestApplyWithWeightsF3Executable(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	net, err := nn.NewNet(groundingModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := ApplyWithWeights(net, 7, Technique{ID: F3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 3, 12, 12)
+	out, err := compressed.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Fatalf("F3 head output %d classes, want 4", out.Len())
+	}
+}
+
+func TestApplyWithWeightsRejectsBadSite(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	net, err := nn.NewNet(groundingModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyWithWeights(net, 0, Technique{ID: F1, RankRatio: 0.5}, rng); err == nil {
+		t.Fatal("expected error applying FC technique to a conv layer")
+	}
+}
+
+func TestApplyWithWeightsQ1NearLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	net, err := nn.NewNet(groundingModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantized, err := ApplyWithWeights(net, 3, Technique{ID: Q1, Bits: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-bit fake quantisation of one layer must barely move the logits.
+	maxRel := 0.0
+	for trial := 0; trial < 6; trial++ {
+		x := tensor.Randn(rng, 1, 3, 12, 12)
+		orig, err := net.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := quantized.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig.Data {
+			rel := math.Abs(orig.Data[i]-got.Data[i]) / (1 + math.Abs(orig.Data[i]))
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	if maxRel > 0.05 {
+		t.Fatalf("8-bit quantisation moved logits by %.3f relative — should be near-lossless", maxRel)
+	}
+	// Low-bit quantisation must hurt more than 8-bit.
+	coarse, err := ApplyWithWeights(net, 3, Technique{ID: Q1, Bits: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev8, dev3 := 0.0, 0.0
+	for trial := 0; trial < 6; trial++ {
+		x := tensor.Randn(rng, 1, 3, 12, 12)
+		orig, _ := net.Forward(x)
+		q8, _ := quantized.Forward(x)
+		q3, _ := coarse.Forward(x)
+		for i := range orig.Data {
+			dev8 += math.Abs(orig.Data[i] - q8.Data[i])
+			dev3 += math.Abs(orig.Data[i] - q3.Data[i])
+		}
+	}
+	if dev3 <= dev8 {
+		t.Fatalf("3-bit deviation (%v) must exceed 8-bit (%v)", dev3, dev8)
+	}
+}
+
+func TestFakeQuantizeEdgeCases(t *testing.T) {
+	fakeQuantize(nil, 8) // must not panic
+	zero := tensor.New(4)
+	fakeQuantize(zero, 8)
+	for _, v := range zero.Data {
+		if v != 0 {
+			t.Fatal("quantising zeros must keep zeros")
+		}
+	}
+	vals, _ := tensor.FromSlice([]float64{1, -1, 0.5}, 3)
+	orig := vals.Clone()
+	fakeQuantize(vals, 0) // invalid bits: no-op
+	for i := range vals.Data {
+		if vals.Data[i] != orig.Data[i] {
+			t.Fatal("invalid bit width must be a no-op")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"math"
+
+	"cadmc/internal/nn"
+)
+
+// featureDim is the per-timestep input dimension of both controllers:
+// a one-hot layer type (12), three normalised spatial hyper-parameters
+// (kernel, stride, padding), the log output width, the sparsity, and the
+// bandwidth context appended to every timestep ("Input B, W to the ...
+// search controller").
+const featureDim = 12 + 3 + 1 + 1 + 1
+
+// encodeLayers turns a layer slice plus the bandwidth context into the
+// controllers' input sequence — the Eq. 1 state string in vector form.
+func encodeLayers(layers []nn.Layer, bandwidthMbps float64) [][]float64 {
+	seq := make([][]float64, len(layers))
+	bw := math.Log2(1+math.Max(bandwidthMbps, 0)) / 7 // ≈[0,1] up to ~128 Mbps
+	for i, l := range layers {
+		f := make([]float64, featureDim)
+		t := int(l.Type) - 1
+		if t >= 0 && t < 12 {
+			f[t] = 1
+		}
+		f[12] = float64(l.Kernel) / 11
+		f[13] = float64(l.Stride) / 4
+		f[14] = float64(l.Padding) / 3
+		f[15] = math.Log2(1+float64(l.Out)) / 12
+		f[16] = l.Sparsity
+		f[17] = bw
+		seq[i] = f
+	}
+	return seq
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cadmc/internal/accuracy"
+	"cadmc/internal/compress"
+	"cadmc/internal/latency"
+	"cadmc/internal/nn"
+)
+
+// Problem bundles everything the searchers need: the base DNN, the latency
+// estimator, the accuracy oracle, the reward, the compression action space
+// and the block granularity.
+type Problem struct {
+	Base       *nn.Model
+	Est        *latency.Estimator
+	Oracle     *accuracy.Oracle
+	Reward     RewardConfig
+	Techniques []compress.Technique
+	Blocks     []nn.Block
+	// Memo caches candidate evaluations by (architecture, cut, bandwidth).
+	Memo *MemoPool
+}
+
+// NewProblem builds a problem with the default reward, the full Table II
+// technique catalogue, and the model sliced into nBlocks blocks (the paper
+// uses N = 3).
+func NewProblem(base *nn.Model, est *latency.Estimator, oracle *accuracy.Oracle, nBlocks int) (*Problem, error) {
+	if base == nil || est == nil || oracle == nil {
+		return nil, fmt.Errorf("core: problem needs base model, estimator and oracle")
+	}
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid base model: %w", err)
+	}
+	blocks, err := base.SliceBlocks(nBlocks)
+	if err != nil {
+		return nil, err
+	}
+	p := &Problem{
+		Base:       base,
+		Est:        est,
+		Oracle:     oracle,
+		Reward:     DefaultRewardConfig(),
+		Techniques: compress.Catalog(),
+		Blocks:     blocks,
+		Memo:       NewMemoPool(),
+	}
+	if err := p.Reward.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Metrics are the evaluation results of one candidate at one bandwidth.
+type Metrics struct {
+	Reward      float64
+	LatencyMS   float64
+	AccuracyPct float64
+}
+
+// Candidate is a fully specified deployment: a (possibly compressed) model
+// plus the global layer index after which execution moves to the cloud.
+type Candidate struct {
+	Model *nn.Model
+	// Cut is the last edge-side layer index; -1 ships the raw input and
+	// len(Model.Layers)-1 runs everything on the edge.
+	Cut int
+}
+
+// Evaluate computes the Eq. 7 reward of a candidate at a constant bandwidth,
+// using the memory pool ("we implement a memory pool storing the hash code of
+// searched models to avoid redundant computations", Sec. VII-A).
+func (p *Problem) Evaluate(c Candidate, bandwidthMbps float64) (Metrics, error) {
+	key := memoKey(c.Model.Hash(), c.Cut, bandwidthMbps)
+	if m, ok := p.Memo.Get(key); ok {
+		return m, nil
+	}
+	b, err := p.Est.EndToEnd(c.Model, c.Cut, bandwidthMbps)
+	if err != nil {
+		return Metrics{}, err
+	}
+	acc, err := p.Oracle.Evaluate(c.Model, true)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{
+		LatencyMS:   b.TotalMS(),
+		AccuracyPct: acc,
+	}
+	m.Reward = p.Reward.Reward(acc, m.LatencyMS)
+	p.Memo.Put(key, m)
+	return m, nil
+}
+
+// MemoPool is a concurrency-safe evaluation cache with hit accounting.
+type MemoPool struct {
+	mu     sync.Mutex
+	m      map[memoKeyT]Metrics
+	hits   int
+	misses int
+}
+
+type memoKeyT struct {
+	hash uint64
+	cut  int
+	bwQ  int64
+}
+
+// NewMemoPool allocates an empty pool.
+func NewMemoPool() *MemoPool {
+	return &MemoPool{m: make(map[memoKeyT]Metrics)}
+}
+
+func memoKey(hash uint64, cut int, bw float64) memoKeyT {
+	q := int64(math.Round(bw * 100)) // quantise bandwidth to 0.01 Mbps
+	return memoKeyT{hash: hash, cut: cut, bwQ: q}
+}
+
+// Get looks up a cached evaluation.
+func (mp *MemoPool) Get(k memoKeyT) (Metrics, bool) {
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	if mp.m == nil {
+		mp.misses++
+		return Metrics{}, false
+	}
+	v, ok := mp.m[k]
+	if ok {
+		mp.hits++
+	} else {
+		mp.misses++
+	}
+	return v, ok
+}
+
+// Put stores an evaluation; a no-op on a disabled pool.
+func (mp *MemoPool) Put(k memoKeyT, v Metrics) {
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	if mp.m == nil {
+		return
+	}
+	mp.m[k] = v
+}
+
+// Stats returns (hits, misses, size).
+func (mp *MemoPool) Stats() (hits, misses, size int) {
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	return mp.hits, mp.misses, len(mp.m)
+}
+
+// Disable makes the pool a pass-through (for the memo-pool ablation bench).
+func (mp *MemoPool) Disable() {
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	mp.m = nil
+}

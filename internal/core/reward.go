@@ -1,0 +1,65 @@
+// Package core implements the paper's contribution: a reinforcement-learning
+// decision engine that searches joint DNN partition and compression
+// strategies (Alg. 1, "optimal branch"), materialises the result as a
+// context-aware model tree (Alg. 3), and composes a concrete DNN from the
+// tree at inference time in response to measured bandwidth (Alg. 2).
+package core
+
+import "fmt"
+
+// RewardConfig is the Eq. 7 reward: R = W_lat·N2(T) + W_acc·N1(A), with
+// min-max normalisation of both metrics. The paper's evaluation sets the
+// total to 400 — 300 for latency (0–500 ms, lower is better) and 100 for
+// accuracy (50–100%, higher is better).
+type RewardConfig struct {
+	MinAccPct, MaxAccPct float64
+	MinLatMS, MaxLatMS   float64
+	AccWeight, LatWeight float64
+}
+
+// DefaultRewardConfig returns the paper's evaluation setting.
+func DefaultRewardConfig() RewardConfig {
+	return RewardConfig{
+		MinAccPct: 50, MaxAccPct: 100,
+		MinLatMS: 0, MaxLatMS: 500,
+		AccWeight: 100, LatWeight: 300,
+	}
+}
+
+// Validate checks the configuration.
+func (c RewardConfig) Validate() error {
+	if c.MinAccPct >= c.MaxAccPct {
+		return fmt.Errorf("core: accuracy range [%v,%v] empty", c.MinAccPct, c.MaxAccPct)
+	}
+	if c.MinLatMS >= c.MaxLatMS {
+		return fmt.Errorf("core: latency range [%v,%v] empty", c.MinLatMS, c.MaxLatMS)
+	}
+	if c.AccWeight < 0 || c.LatWeight < 0 {
+		return fmt.Errorf("core: negative reward weights")
+	}
+	return nil
+}
+
+// Max returns the maximum attainable reward (AccWeight + LatWeight).
+func (c RewardConfig) Max() float64 { return c.AccWeight + c.LatWeight }
+
+// Reward maps an (accuracy %, latency ms) pair to the scalar reward.
+// Values outside the normalisation ranges are clamped, so an outage
+// (latency → ∞) earns zero latency reward rather than a divergent penalty.
+func (c RewardConfig) Reward(accPct, latMS float64) float64 {
+	a := (accPct - c.MinAccPct) / (c.MaxAccPct - c.MinAccPct)
+	if a < 0 {
+		a = 0
+	}
+	if a > 1 {
+		a = 1
+	}
+	l := (c.MaxLatMS - latMS) / (c.MaxLatMS - c.MinLatMS)
+	if l < 0 {
+		l = 0
+	}
+	if l > 1 {
+		l = 1
+	}
+	return c.AccWeight*a + c.LatWeight*l
+}

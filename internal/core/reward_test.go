@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRewardConfigPaperSetting(t *testing.T) {
+	c := DefaultRewardConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Max() != 400 {
+		t.Fatalf("total reward = %v, want 400 (300 latency + 100 accuracy)", c.Max())
+	}
+	// Perfect: 100% accuracy at 0 ms.
+	if got := c.Reward(100, 0); got != 400 {
+		t.Fatalf("perfect reward = %v, want 400", got)
+	}
+	// Paper-scale sanity: 92.01% at 60 ms ≈ 348.
+	got := c.Reward(92.01, 60)
+	want := 100*(92.01-50)/50 + 300*(500-60)/500
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("reward = %v, want %v", got, want)
+	}
+	if want < 340 || want > 355 {
+		t.Fatalf("paper-scale reward %v outside Table IV's ballpark", want)
+	}
+}
+
+func TestRewardClamping(t *testing.T) {
+	c := DefaultRewardConfig()
+	if got := c.Reward(30, 0); got != 300 {
+		t.Fatalf("sub-floor accuracy reward = %v, want 300 (zero accuracy part)", got)
+	}
+	if got := c.Reward(100, math.Inf(1)); got != 100 {
+		t.Fatalf("outage reward = %v, want 100 (zero latency part)", got)
+	}
+	if got := c.Reward(100, 1e9); got != 100 {
+		t.Fatalf("huge-latency reward = %v, want 100", got)
+	}
+}
+
+// Property: reward is monotone — more accuracy never hurts, more latency
+// never helps.
+func TestRewardMonotoneProperty(t *testing.T) {
+	c := DefaultRewardConfig()
+	f := func(a1, a2, l1, l2 float64) bool {
+		a1, a2 = math.Abs(a1), math.Abs(a2)
+		l1, l2 = math.Abs(l1), math.Abs(l2)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		return c.Reward(a1, l1) <= c.Reward(a2, l1)+1e-12 &&
+			c.Reward(a1, l2) <= c.Reward(a1, l1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewardConfigValidate(t *testing.T) {
+	bad := DefaultRewardConfig()
+	bad.MinAccPct = 200
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected accuracy-range error")
+	}
+	bad = DefaultRewardConfig()
+	bad.MaxLatMS = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected latency-range error")
+	}
+	bad = DefaultRewardConfig()
+	bad.AccWeight = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected weight error")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"cadmc/internal/network"
+)
+
+// Runtime walks a model tree during one inference, implementing Alg. 2:
+// start at the root, and before each following block measure the bandwidth,
+// match it to a fork, and descend. The caller (the emulator or a real
+// executor) interleaves block execution with Advance calls.
+type Runtime struct {
+	tree *ModelTree
+	cur  *TreeNode
+	path []*TreeNode
+}
+
+// NewRuntime starts a composition at the tree root.
+func NewRuntime(tree *ModelTree) (*Runtime, error) {
+	if tree == nil || tree.Root == nil {
+		return nil, fmt.Errorf("core: runtime needs a non-empty tree")
+	}
+	return &Runtime{tree: tree, cur: tree.Root, path: []*TreeNode{tree.Root}}, nil
+}
+
+// Current returns the block variant to execute next.
+func (r *Runtime) Current() *TreeNode { return r.cur }
+
+// Done reports whether composition is complete (the current node is
+// terminal: partitioned to the cloud, or the final block).
+func (r *Runtime) Done() bool { return r.cur.Terminal() }
+
+// Advance measures the given bandwidth against the tree's classes and
+// descends into the matching fork. It returns the new current node, or an
+// error if called on a terminal node.
+func (r *Runtime) Advance(bandwidthMbps float64) (*TreeNode, error) {
+	if r.Done() {
+		return nil, fmt.Errorf("core: advance on a terminal node (block %d)", r.cur.BlockIdx)
+	}
+	k := network.Classify(r.tree.ClassMbps, bandwidthMbps)
+	next := r.cur.Children[k]
+	if next == nil {
+		return nil, fmt.Errorf("core: tree node block %d has no child for class %d", r.cur.BlockIdx, k)
+	}
+	r.cur = next
+	r.path = append(r.path, next)
+	return next, nil
+}
+
+// Branch returns the path taken so far.
+func (r *Runtime) Branch() Branch {
+	b := Branch{
+		Nodes: make([]*TreeNode, len(r.path)),
+		Forks: make([]int, len(r.path)),
+	}
+	copy(b.Nodes, r.path)
+	for i, n := range r.path {
+		b.Forks[i] = n.Fork
+	}
+	return b
+}
+
+// Candidate composes the model of the path taken; valid once Done.
+func (r *Runtime) Candidate() (Candidate, error) {
+	if !r.Done() {
+		return Candidate{}, fmt.Errorf("core: composition not finished")
+	}
+	return r.tree.ComposeBranch(r.Branch())
+}

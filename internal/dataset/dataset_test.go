@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Generate(cfg, 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatalf("labels diverge at %d", i)
+		}
+		for j := range a.Train[i].Image.Data {
+			if a.Train[i].Image.Data[j] != b.Train[i].Image.Data[j] {
+				t.Fatalf("pixels diverge at sample %d pixel %d", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateClassBalanced(t *testing.T) {
+	cfg := DefaultConfig()
+	set, err := Generate(cfg, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for _, s := range set.Train {
+		counts[s.Label]++
+	}
+	for k := 0; k < cfg.Classes; k++ {
+		if counts[k] != 10 {
+			t.Fatalf("class %d has %d samples, want 10", k, counts[k])
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Classes = 1
+	if _, err := Generate(bad, 10, 10); err == nil {
+		t.Fatal("expected invalid-config error")
+	}
+	if _, err := Generate(DefaultConfig(), 0, 10); err == nil {
+		t.Fatal("expected sample-count error")
+	}
+}
+
+func TestTemplatesSeparateClasses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Noise = 0
+	cfg.Brightness = 0
+	set, err := Generate(cfg, cfg.Classes, cfg.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no noise, samples of different classes must differ substantially.
+	for i := 0; i < cfg.Classes; i++ {
+		for j := i + 1; j < cfg.Classes; j++ {
+			d := 0.0
+			ai, aj := set.Train[i].Image, set.Train[j].Image
+			for p := range ai.Data {
+				diff := ai.Data[p] - aj.Data[p]
+				d += diff * diff
+			}
+			if d < 1 {
+				t.Fatalf("classes %d and %d templates nearly identical (d=%v)", i, j, d)
+			}
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	set, err := Generate(DefaultConfig(), 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[int]int)
+	for _, s := range set.Train {
+		before[s.Label]++
+	}
+	Shuffle(set.Train, rand.New(rand.NewSource(9)))
+	after := make(map[int]int)
+	for _, s := range set.Train {
+		after[s.Label]++
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("shuffle changed class counts for %d", k)
+		}
+	}
+}

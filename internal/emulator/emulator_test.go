@@ -1,0 +1,282 @@
+package emulator
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cadmc/internal/network"
+)
+
+func quickOptions() TrainOptions {
+	opts := DefaultTrainOptions()
+	opts.TreeEpisodes = 40
+	opts.BranchEpisodes = 50
+	opts.TraceMS = 120_000
+	return opts
+}
+
+func trainQuick(t *testing.T, spec ScenarioSpec) *TrainedScenario {
+	t.Helper()
+	ts, err := Train(spec, quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestModeString(t *testing.T) {
+	if ModeEmulation.String() != "emulation" || ModeField.String() != "field" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Fatal("unknown mode rendering wrong")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(ModeEmulation).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultConfig(ModeField).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig(ModeEmulation)
+	bad.Inferences = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected inference-count error")
+	}
+	bad = DefaultConfig(ModeField)
+	bad.LatencyBias = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected bias error")
+	}
+	bad = DefaultConfig(ModeField)
+	bad.ProbeIntervalMS = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected probe-interval error")
+	}
+	if err := (Config{Mode: Mode(7), Inferences: 1}).Validate(); err == nil {
+		t.Fatal("expected mode error")
+	}
+}
+
+func TestPaperScenariosCatalog(t *testing.T) {
+	specs := PaperScenarios()
+	if len(specs) != 14 {
+		t.Fatalf("got %d scenarios, want 14 (Tables III–V rows)", len(specs))
+	}
+	vgg, alex, tx2 := 0, 0, 0
+	for _, s := range specs {
+		if _, err := network.ByName(s.EnvName); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if _, err := deviceFor(s.DeviceName); err != nil {
+			t.Fatal(err)
+		}
+		switch s.ModelName {
+		case "VGG11":
+			vgg++
+		case "AlexNet":
+			alex++
+		default:
+			t.Fatalf("unexpected model %q", s.ModelName)
+		}
+		if s.DeviceName == "TX2" {
+			tx2++
+		}
+	}
+	if vgg != 10 || alex != 4 || tx2 != 3 {
+		t.Fatalf("composition %d VGG11 / %d AlexNet / %d TX2, want 10/4/3", vgg, alex, tx2)
+	}
+}
+
+func TestDeviceForUnknown(t *testing.T) {
+	if _, err := deviceFor("Abacus"); err == nil {
+		t.Fatal("expected unknown-device error")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	spec := PaperScenarios()[0]
+	bad := quickOptions()
+	bad.Blocks = 0
+	if _, err := Train(spec, bad); err == nil {
+		t.Fatal("expected blocks error")
+	}
+	spec.ModelName = "LeNet"
+	if _, err := Train(spec, quickOptions()); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+	spec = PaperScenarios()[0]
+	spec.EnvName = "6G orbital"
+	if _, err := Train(spec, quickOptions()); err == nil {
+		t.Fatal("expected unknown-env error")
+	}
+}
+
+func TestTrainProducesOrderedRewards(t *testing.T) {
+	// AlexNet trains fastest.
+	ts := trainQuick(t, ScenarioSpec{ModelName: "AlexNet", DeviceName: "Phone",
+		EnvName: "4G indoor static", TraceSeed: 7})
+	if ts.Tree == nil || len(ts.Branches) != 2 {
+		t.Fatal("missing offline artifacts")
+	}
+	if err := ts.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Classes) != 2 || ts.Classes[0] >= ts.Classes[1] {
+		t.Fatalf("classes = %v", ts.Classes)
+	}
+	// The paper's Table III ordering: surgery ≤ branch and tree competitive.
+	if ts.BranchReward < ts.SurgeryReward-1 {
+		t.Fatalf("branch %.2f below surgery %.2f", ts.BranchReward, ts.SurgeryReward)
+	}
+	if ts.TreeReward <= 0 || ts.BestTreeReward < ts.TreeReward-1e-9 {
+		t.Fatalf("tree rewards inconsistent: expected %.2f best %.2f", ts.TreeReward, ts.BestTreeReward)
+	}
+}
+
+func TestRunEmulationAndField(t *testing.T) {
+	ts := trainQuick(t, ScenarioSpec{ModelName: "AlexNet", DeviceName: "Phone",
+		EnvName: "WiFi (weak) indoor", TraceSeed: 9})
+	emu, err := ts.Run(DefaultConfig(ModeEmulation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emu) != 3 {
+		t.Fatalf("got %d results, want 3", len(emu))
+	}
+	names := []string{"Surgery", "Branch", "Tree"}
+	for i, r := range emu {
+		if r.Policy != names[i] {
+			t.Fatalf("result %d policy %q, want %q", i, r.Policy, names[i])
+		}
+		if r.MeanLatencyMS <= 0 || r.MeanReward <= 0 {
+			t.Fatalf("%s: degenerate metrics %+v", r.Policy, r)
+		}
+	}
+	// Surgery never compresses: accuracy must stay at the base 84.08.
+	if math.Abs(emu[0].MeanAccuracy-84.08) > 1e-9 {
+		t.Fatalf("surgery accuracy %v, want 84.08", emu[0].MeanAccuracy)
+	}
+	// Compressed policies lose at most a few points (paper: ≈1%).
+	for _, r := range emu[1:] {
+		if r.MeanAccuracy > 84.08 || r.MeanAccuracy < 80 {
+			t.Fatalf("%s accuracy %.2f out of the paper's band", r.Policy, r.MeanAccuracy)
+		}
+	}
+
+	field, err := ts.Run(DefaultConfig(ModeField))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Field latencies exceed emulation latencies for every policy (the
+	// paper's emulation→field gap).
+	for i := range field {
+		if field[i].MeanLatencyMS <= emu[i].MeanLatencyMS {
+			t.Fatalf("%s: field %.2f ms not above emulation %.2f ms",
+				field[i].Policy, field[i].MeanLatencyMS, emu[i].MeanLatencyMS)
+		}
+		if field[i].MeanReward >= emu[i].MeanReward {
+			t.Fatalf("%s: field reward %.2f not below emulation %.2f",
+				field[i].Policy, field[i].MeanReward, emu[i].MeanReward)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	ts := trainQuick(t, ScenarioSpec{ModelName: "AlexNet", DeviceName: "Phone",
+		EnvName: "4G indoor static", TraceSeed: 11})
+	a, err := ts.Run(DefaultConfig(ModeField))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ts.Run(DefaultConfig(ModeField))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay not deterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestRunAllValidation(t *testing.T) {
+	ts := trainQuick(t, ScenarioSpec{ModelName: "AlexNet", DeviceName: "Phone",
+		EnvName: "4G indoor static", TraceSeed: 12})
+	if _, err := RunAll(ts.Problem, nil, ts.Branches, ts.Trace, DefaultConfig(ModeEmulation)); err == nil {
+		t.Fatal("expected nil-tree error")
+	}
+	bad := DefaultConfig(ModeEmulation)
+	bad.Inferences = -1
+	if _, err := RunAll(ts.Problem, ts.Tree, ts.Branches, ts.Trace, bad); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func TestRunReportsEnergy(t *testing.T) {
+	ts := trainQuick(t, ScenarioSpec{ModelName: "VGG11", DeviceName: "Phone",
+		EnvName: "4G indoor static", TraceSeed: 21})
+	rows, err := ts.Run(DefaultConfig(ModeEmulation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MeanEnergyMJ <= 0 {
+			t.Fatalf("%s: energy must be positive, got %v", r.Policy, r.MeanEnergyMJ)
+		}
+	}
+	// The tree's deployments never cost more edge energy than the
+	// uncompressed surgery baseline (at quick test budgets they may tie by
+	// choosing the same offload).
+	if rows[2].MeanEnergyMJ > rows[0].MeanEnergyMJ+1e-9 {
+		t.Fatalf("tree energy %.1f mJ above surgery %.1f mJ",
+			rows[2].MeanEnergyMJ, rows[0].MeanEnergyMJ)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ts := trainQuick(t, ScenarioSpec{ModelName: "AlexNet", DeviceName: "Phone",
+		EnvName: "WiFi outdoor slow", TraceSeed: 31})
+	var buf bytes.Buffer
+	if err := ts.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec != ts.Spec {
+		t.Fatalf("spec changed: %+v vs %+v", back.Spec, ts.Spec)
+	}
+	if back.TreeReward != ts.TreeReward || back.SurgeryReward != ts.SurgeryReward {
+		t.Fatal("training rewards changed across save/load")
+	}
+	// Replaying the restored scenario must give identical results — the
+	// problem and trace rebuild deterministically.
+	want, err := ts.Run(DefaultConfig(ModeField))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Run(DefaultConfig(ModeField))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("replay differs after reload: %+v vs %+v", want[i], got[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := Load(strings.NewReader("{}")); err == nil {
+		t.Fatal("expected incomplete-scenario error")
+	}
+}

@@ -1,0 +1,100 @@
+package latency
+
+import (
+	"fmt"
+	"math"
+
+	"cadmc/internal/nn"
+)
+
+// LayerMS returns the estimated computational latency in milliseconds of
+// layer i of m on dev.
+func LayerMS(m *nn.Model, i int, dev Device) (float64, error) {
+	per, err := m.MACCsPerLayer()
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= len(per) {
+		return 0, fmt.Errorf("latency: layer %d out of range", i)
+	}
+	dims, err := m.InferDims()
+	if err != nil {
+		return 0, err
+	}
+	return layerMS(m.Layers[i], per[i], dev, dims[i].Out), nil
+}
+
+func layerMS(l nn.Layer, maccs int64, dev Device, out nn.Shape) float64 {
+	if maccs == 0 && !l.HasWeights() {
+		return 0
+	}
+	spatial := false
+	var coeff float64
+	switch l.Type {
+	case nn.Conv:
+		coeff = dev.convCoeff(l.Kernel)
+		spatial = true
+	case nn.DepthwiseConv:
+		coeff = dev.convCoeff(l.Kernel)
+		if dev.DepthwiseInefficiency > 1 {
+			coeff *= dev.DepthwiseInefficiency
+		}
+		spatial = true
+	case nn.Fire:
+		// Fire is 1×1- and 3×3-conv work; use the blended 3×3 coefficient.
+		coeff = dev.convCoeff(3)
+		spatial = true
+	case nn.FC:
+		coeff = dev.FCCoeffNS
+	case nn.Add:
+		if l.Out > 0 { // projection shortcut is a 1×1 conv
+			coeff = dev.convCoeff(1)
+			spatial = true
+		} else {
+			return 0
+		}
+	default:
+		// Pooling, normalisation, activation, dropout: negligible per the
+		// paper's measurements ("cost little time ... and can be ignored");
+		// batch-norm folds into the preceding convolution on real runtimes.
+		return 0
+	}
+	if spatial && dev.SmallMapPixels > 0 {
+		hw := float64(out.H * out.W)
+		if hw > 0 {
+			coeff *= 1 + math.Sqrt(dev.SmallMapPixels/hw)
+		}
+	}
+	if l.Bits > 0 && l.Bits < 32 {
+		// Quantised kernels run on integer SIMD paths; int8 is ≈2.2×
+		// faster than float32 on mobile CPUs.
+		coeff *= 0.45
+	}
+	return (coeff*float64(maccs) + dev.LayerOverheadNS) / 1e6
+}
+
+// RangeMS returns the summed computational latency in milliseconds of layers
+// [from, to) of m on dev. An empty range costs zero.
+func RangeMS(m *nn.Model, from, to int, dev Device) (float64, error) {
+	if from < 0 || to > len(m.Layers) || from > to {
+		return 0, fmt.Errorf("latency: range [%d,%d) invalid for %d layers", from, to, len(m.Layers))
+	}
+	per, err := m.MACCsPerLayer()
+	if err != nil {
+		return 0, err
+	}
+	dims, err := m.InferDims()
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i := from; i < to; i++ {
+		total += layerMS(m.Layers[i], per[i], dev, dims[i].Out)
+	}
+	return total, nil
+}
+
+// ModelMS returns the full-model computational latency in milliseconds.
+func ModelMS(m *nn.Model, dev Device) (float64, error) {
+	return RangeMS(m, 0, len(m.Layers), dev)
+}

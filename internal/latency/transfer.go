@@ -1,0 +1,153 @@
+package latency
+
+import (
+	"fmt"
+	"math"
+)
+
+// TransferModel estimates the latency of shipping an intermediate feature map
+// to the cloud, following Eq. 6: Tt = f(S|W) + S/W, where f is linear in the
+// file size S given the bandwidth W. We instantiate f(S|W) = RTT + κ·S/W so
+// that the total is RTT + (1+κ)·S/W: a fixed first-packet propagation delay
+// plus a protocol-overhead factor on the transmission time.
+type TransferModel struct {
+	// RTTMS is the first-packet propagation delay in milliseconds.
+	RTTMS float64
+	// Overhead is the fractional protocol overhead κ on transmission time
+	// (headers, ACK pacing, congestion-window ramp).
+	Overhead float64
+}
+
+// DefaultTransferModel returns the model fitted during calibration
+// (see FitTransferModel and the Fig. 5 bench).
+func DefaultTransferModel() TransferModel {
+	return TransferModel{RTTMS: 12, Overhead: 0.18}
+}
+
+// MS returns the transfer latency in milliseconds for sizeBytes at
+// bandwidthMbps. Non-positive bandwidth yields +Inf (an outage: offloading is
+// impossible, and any candidate relying on it is dominated).
+func (t TransferModel) MS(sizeBytes int64, bandwidthMbps float64) float64 {
+	if sizeBytes <= 0 {
+		return 0
+	}
+	if bandwidthMbps <= 0 {
+		return math.Inf(1)
+	}
+	transmission := float64(sizeBytes) * 8 / (bandwidthMbps * 1e6) * 1e3 // ms
+	return t.RTTMS + (1+t.Overhead)*transmission
+}
+
+// Validate checks the model parameters.
+func (t TransferModel) Validate() error {
+	if t.RTTMS < 0 || t.Overhead < 0 {
+		return fmt.Errorf("latency: transfer model has negative parameters: %+v", t)
+	}
+	return nil
+}
+
+// TransferSample is one measured transfer: size, bandwidth, observed latency.
+type TransferSample struct {
+	SizeBytes     int64
+	BandwidthMbps float64
+	MeasuredMS    float64
+}
+
+// FitTransferModel estimates RTT and κ from measurements by ordinary least
+// squares on the predictor x = 8·S/W (ideal transmission time): measured T ≈
+// RTT + (1+κ)·x. It returns the fitted model and the R² of the fit.
+func FitTransferModel(samples []TransferSample) (TransferModel, float64, error) {
+	if len(samples) < 2 {
+		return TransferModel{}, 0, fmt.Errorf("latency: need ≥2 samples to fit, got %d", len(samples))
+	}
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.BandwidthMbps <= 0 {
+			return TransferModel{}, 0, fmt.Errorf("latency: sample %d has non-positive bandwidth", i)
+		}
+		xs[i] = float64(s.SizeBytes) * 8 / (s.BandwidthMbps * 1e6) * 1e3
+		ys[i] = s.MeasuredMS
+	}
+	intercept, slope, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		return TransferModel{}, 0, err
+	}
+	model := TransferModel{RTTMS: intercept, Overhead: slope - 1}
+	if model.RTTMS < 0 {
+		model.RTTMS = 0
+	}
+	if model.Overhead < 0 {
+		model.Overhead = 0
+	}
+	return model, r2, nil
+}
+
+// LinearFit performs ordinary least squares y ≈ a + b·x, returning the
+// intercept a, slope b and coefficient of determination R².
+func LinearFit(xs, ys []float64) (intercept, slope, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("latency: linear fit needs ≥2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if math.Abs(denom) < 1e-12 {
+		return 0, 0, 0, fmt.Errorf("latency: degenerate fit (constant predictor)")
+	}
+	slope = (n*sxy - sx*sy) / denom
+	intercept = (sy - slope*sx) / n
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := intercept + slope*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot < 1e-12 {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return intercept, slope, r2, nil
+}
+
+// FitThroughOrigin performs least squares y ≈ b·x, returning the slope and
+// R². Used to calibrate ns/MACC coefficients per kernel size (Fig. 5 left).
+func FitThroughOrigin(xs, ys []float64) (slope, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 1 {
+		return 0, 0, fmt.Errorf("latency: origin fit needs ≥1 paired points, got %d/%d", len(xs), len(ys))
+	}
+	var sxx, sxy float64
+	for i := range xs {
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	if sxx < 1e-12 {
+		return 0, 0, fmt.Errorf("latency: degenerate origin fit")
+	}
+	slope = sxy / sxx
+	var sy float64
+	for _, y := range ys {
+		sy += y
+	}
+	meanY := sy / float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope * xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot < 1e-12 {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return slope, r2, nil
+}

@@ -1,0 +1,89 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Monitor exposes what the online decision engine can know about bandwidth
+// at a point in time. The emulator uses a perfect monitor (oracle trace
+// reads); field mode uses a coarse estimator with staleness and measurement
+// noise — the paper attributes part of its emulation→field gap to exactly
+// this "coarse estimation of network conditions".
+type Monitor interface {
+	// EstimateMbps returns the bandwidth estimate available at time tMS.
+	EstimateMbps(tMS float64) float64
+}
+
+// OracleMonitor reads the trace exactly — the emulation-mode monitor.
+type OracleMonitor struct {
+	Trace *Trace
+}
+
+var _ Monitor = (*OracleMonitor)(nil)
+
+// EstimateMbps implements Monitor.
+func (o *OracleMonitor) EstimateMbps(tMS float64) float64 { return o.Trace.At(tMS) }
+
+// CoarseMonitor models a realistic on-device bandwidth estimator: it only
+// refreshes every ProbeIntervalMS (estimates in between are stale) and each
+// probe carries multiplicative log-normal noise.
+type CoarseMonitor struct {
+	Trace           *Trace
+	ProbeIntervalMS float64
+	// NoiseStd is the log-domain standard deviation of probe error.
+	NoiseStd float64
+	rng      *rand.Rand
+	lastSlot int
+	lastVal  float64
+}
+
+// NewCoarseMonitor builds a coarse monitor; seed controls probe noise.
+func NewCoarseMonitor(trace *Trace, probeIntervalMS, noiseStd float64, seed int64) (*CoarseMonitor, error) {
+	if trace == nil || len(trace.Mbps) == 0 {
+		return nil, fmt.Errorf("network: coarse monitor needs a non-empty trace")
+	}
+	if probeIntervalMS <= 0 {
+		return nil, fmt.Errorf("network: probe interval must be positive, got %v", probeIntervalMS)
+	}
+	return &CoarseMonitor{
+		Trace:           trace,
+		ProbeIntervalMS: probeIntervalMS,
+		NoiseStd:        noiseStd,
+		rng:             rand.New(rand.NewSource(seed)),
+		lastSlot:        -1,
+	}, nil
+}
+
+var _ Monitor = (*CoarseMonitor)(nil)
+
+// EstimateMbps implements Monitor. Within one probe interval it returns the
+// same (noisy, possibly stale) value; a new interval triggers a fresh probe
+// of the bandwidth as it was at the interval boundary.
+func (c *CoarseMonitor) EstimateMbps(tMS float64) float64 {
+	slot := int(tMS / c.ProbeIntervalMS)
+	if slot != c.lastSlot {
+		probeTime := float64(slot) * c.ProbeIntervalMS
+		truth := c.Trace.At(probeTime)
+		noise := 1.0
+		if c.NoiseStd > 0 {
+			noise = expApprox(c.rng.NormFloat64() * c.NoiseStd)
+		}
+		c.lastSlot = slot
+		c.lastVal = truth * noise
+	}
+	return c.lastVal
+}
+
+// expApprox applies math.Exp with clamped tails so a single probe cannot
+// return e.g. 1000× truth.
+func expApprox(x float64) float64 {
+	if x > 1.5 {
+		x = 1.5
+	}
+	if x < -1.5 {
+		x = -1.5
+	}
+	return math.Exp(x)
+}

@@ -1,0 +1,205 @@
+package nn
+
+import "fmt"
+
+// Standard input shapes used throughout the paper's evaluation.
+var (
+	// CIFARInput is the 3×32×32 CIFAR-10 input the evaluation tasks use.
+	CIFARInput = Shape{C: 3, H: 32, W: 32}
+	// ImageNetInput is the 1×224×224×3 input of Table I.
+	ImageNetInput = Shape{C: 3, H: 224, W: 224}
+)
+
+// CIFARClasses is the class count of the paper's target task.
+const CIFARClasses = 10
+
+// vggCfg entries are output channel counts; poolMark denotes a 2×2/2 max pool.
+const poolMark = -1
+
+var (
+	vgg11Cfg = []int{64, poolMark, 128, poolMark, 256, 256, poolMark, 512, 512, poolMark, 512, 512, poolMark}
+	vgg19Cfg = []int{
+		64, 64, poolMark,
+		128, 128, poolMark,
+		256, 256, 256, 256, poolMark,
+		512, 512, 512, 512, poolMark,
+		512, 512, 512, 512, poolMark,
+	}
+)
+
+// VGG11 builds the VGG-11 architecture for the given input and class count.
+// For CIFAR-scale inputs the classifier is a compact 512-wide stack; for
+// ImageNet-scale inputs it is the canonical 4096-wide stack.
+func VGG11(input Shape, classes int) *Model {
+	return buildVGG("VGG11", vgg11Cfg, input, classes)
+}
+
+// VGG19 builds the VGG-19 architecture (used in Table I).
+func VGG19(input Shape, classes int) *Model {
+	return buildVGG("VGG19", vgg19Cfg, input, classes)
+}
+
+func buildVGG(name string, cfg []int, input Shape, classes int) *Model {
+	m := &Model{Name: name, Input: input, Classes: classes}
+	in := input.C
+	spatial := input.H
+	for _, c := range cfg {
+		if c == poolMark {
+			m.Layers = append(m.Layers, NewMaxPool(2, 2))
+			spatial /= 2
+			continue
+		}
+		m.Layers = append(m.Layers,
+			NewConv(in, c, 3, 1, 1),
+			NewBatchNorm(),
+			NewReLU(),
+		)
+		in = c
+	}
+	m.Layers = append(m.Layers, NewFlatten())
+	flat := in * spatial * spatial
+	hidden := 512
+	if input.H >= 128 {
+		hidden = 4096
+	}
+	m.Layers = append(m.Layers,
+		NewFC(flat, hidden), NewReLU(), NewDropout(),
+		NewFC(hidden, hidden), NewReLU(), NewDropout(),
+		NewFC(hidden, classes),
+	)
+	return m
+}
+
+// AlexNet builds an AlexNet-style architecture. At ImageNet scale it is the
+// canonical five-conv network; at CIFAR scale it is the common CIFAR
+// adaptation with a stride-2 stem.
+func AlexNet(input Shape, classes int) *Model {
+	m := &Model{Name: "AlexNet", Input: input, Classes: classes}
+	if input.H >= 128 {
+		m.Layers = []Layer{
+			NewConv(input.C, 64, 11, 4, 2), NewReLU(),
+			NewMaxPool(3, 2),
+			NewConv(64, 192, 5, 1, 2), NewReLU(),
+			NewMaxPool(3, 2),
+			NewConv(192, 384, 3, 1, 1), NewReLU(),
+			NewConv(384, 256, 3, 1, 1), NewReLU(),
+			NewConv(256, 256, 3, 1, 1), NewReLU(),
+			NewMaxPool(3, 2),
+			NewFlatten(),
+			NewFC(256*6*6, 4096), NewReLU(), NewDropout(),
+			NewFC(4096, 4096), NewReLU(), NewDropout(),
+			NewFC(4096, classes),
+		}
+		return m
+	}
+	m.Layers = []Layer{
+		NewConv(input.C, 64, 3, 2, 1), NewReLU(),
+		NewMaxPool(2, 2),
+		NewConv(64, 192, 3, 1, 1), NewReLU(),
+		NewMaxPool(2, 2),
+		NewConv(192, 384, 3, 1, 1), NewReLU(),
+		NewConv(384, 256, 3, 1, 1), NewReLU(),
+		NewConv(256, 256, 3, 1, 1), NewReLU(),
+		NewMaxPool(2, 2),
+		NewFlatten(),
+		NewFC(256*2*2, 1024), NewReLU(), NewDropout(),
+		NewFC(1024, 512), NewReLU(), NewDropout(),
+		NewFC(512, classes),
+	}
+	return m
+}
+
+// ResNet50 builds the 50-layer bottleneck ResNet (Table I).
+func ResNet50(input Shape, classes int) *Model {
+	return buildResNet("ResNet50", []int{3, 4, 6, 3}, input, classes)
+}
+
+// ResNet101 builds the 101-layer bottleneck ResNet (Table I).
+func ResNet101(input Shape, classes int) *Model {
+	return buildResNet("ResNet101", []int{3, 4, 23, 3}, input, classes)
+}
+
+// ResNet152 builds the 152-layer bottleneck ResNet (Table I).
+func ResNet152(input Shape, classes int) *Model {
+	return buildResNet("ResNet152", []int{3, 8, 36, 3}, input, classes)
+}
+
+func buildResNet(name string, stages []int, input Shape, classes int) *Model {
+	m := &Model{Name: name, Input: input, Classes: classes}
+	// Stem.
+	if input.H >= 128 {
+		m.Layers = append(m.Layers,
+			NewConv(input.C, 64, 7, 2, 3), NewBatchNorm(), NewReLU(),
+			Layer{Type: MaxPool, Kernel: 3, Stride: 2, Padding: 1, SkipFrom: -1},
+		)
+	} else {
+		m.Layers = append(m.Layers,
+			NewConv(input.C, 64, 3, 1, 1), NewBatchNorm(), NewReLU(),
+		)
+	}
+	in := 64
+	mid := 64
+	for stage, blocks := range stages {
+		out := mid * 4
+		for b := 0; b < blocks; b++ {
+			stride := 1
+			if b == 0 && stage > 0 {
+				stride = 2
+			}
+			appendBottleneck(m, in, mid, out, stride)
+			in = out
+		}
+		mid *= 2
+	}
+	m.Layers = append(m.Layers,
+		NewGlobalAvgPool(),
+		NewFlatten(),
+		NewFC(in, classes),
+	)
+	return m
+}
+
+// appendBottleneck appends one ResNet bottleneck (1×1 → 3×3 → 1×1 with a
+// residual add; a projection shortcut when shape changes).
+func appendBottleneck(m *Model, in, mid, out, stride int) {
+	skipFrom := len(m.Layers) - 1
+	m.Layers = append(m.Layers,
+		NewConv(in, mid, 1, 1, 0), NewBatchNorm(), NewReLU(),
+		NewConv(mid, mid, 3, stride, 1), NewBatchNorm(), NewReLU(),
+		NewConv(mid, out, 1, 1, 0), NewBatchNorm(),
+	)
+	if in != out || stride != 1 {
+		m.Layers = append(m.Layers, NewProjAdd(skipFrom, in, out, stride))
+	} else {
+		m.Layers = append(m.Layers, NewAdd(skipFrom))
+	}
+	m.Layers = append(m.Layers, NewReLU())
+}
+
+// NewProjAdd returns a residual add whose skip path passes through a 1×1
+// projection convolution (srcChannels → out, with the given stride) before
+// the addition — the standard downsampling shortcut of bottleneck ResNets.
+func NewProjAdd(skipFrom, srcChannels, out, stride int) Layer {
+	return Layer{Type: Add, SkipFrom: skipFrom, In: srcChannels, Out: out, Kernel: 1, Stride: stride}
+}
+
+// Zoo returns the named model builder output, or an error for unknown names.
+// Recognised names: VGG11, VGG19, AlexNet, ResNet50, ResNet101, ResNet152.
+func Zoo(name string, input Shape, classes int) (*Model, error) {
+	switch name {
+	case "VGG11":
+		return VGG11(input, classes), nil
+	case "VGG19":
+		return VGG19(input, classes), nil
+	case "AlexNet":
+		return AlexNet(input, classes), nil
+	case "ResNet50":
+		return ResNet50(input, classes), nil
+	case "ResNet101":
+		return ResNet101(input, classes), nil
+	case "ResNet152":
+		return ResNet152(input, classes), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown zoo model %q", name)
+	}
+}

@@ -1,0 +1,166 @@
+package nn
+
+import "testing"
+
+func TestZooModelsValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		input Shape
+	}{
+		{"VGG11", CIFARInput},
+		{"VGG19", CIFARInput},
+		{"AlexNet", CIFARInput},
+		{"VGG11", ImageNetInput},
+		{"VGG19", ImageNetInput},
+		{"AlexNet", ImageNetInput},
+		{"ResNet50", ImageNetInput},
+		{"ResNet101", ImageNetInput},
+		{"ResNet152", ImageNetInput},
+	}
+	for _, c := range cases {
+		m, err := Zoo(c.name, c.input, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s @%v: %v", c.name, c.input, err)
+		}
+	}
+	if _, err := Zoo("LeNet", CIFARInput, 10); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}
+
+// MACC totals must land near the published model complexities — the latency
+// substrate is calibrated against these, so the bounds here are load-bearing.
+func TestZooMACCsMatchPublishedScale(t *testing.T) {
+	cases := []struct {
+		name   string
+		input  Shape
+		lo, hi float64 // GMACs
+	}{
+		{"VGG19", ImageNetInput, 18.0, 21.5},
+		{"ResNet50", ImageNetInput, 3.4, 5.0},
+		{"ResNet101", ImageNetInput, 6.8, 9.2},
+		{"ResNet152", ImageNetInput, 10.0, 13.5},
+		{"VGG11", CIFARInput, 0.13, 0.18},
+		{"AlexNet", CIFARInput, 0.025, 0.07},
+	}
+	for _, c := range cases {
+		m, err := Zoo(c.name, c.input, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, err := m.MACCs()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		g := float64(total) / 1e9
+		if g < c.lo || g > c.hi {
+			t.Errorf("%s @%v = %.3f GMACs, want [%.2f, %.2f]", c.name, c.input, g, c.lo, c.hi)
+		}
+	}
+}
+
+func TestResNetDeeperMeansMoreMACCs(t *testing.T) {
+	r50, _ := ResNet50(ImageNetInput, 1000).MACCs()
+	r101, _ := ResNet101(ImageNetInput, 1000).MACCs()
+	r152, _ := ResNet152(ImageNetInput, 1000).MACCs()
+	if !(r50 < r101 && r101 < r152) {
+		t.Fatalf("MACC ordering violated: %d, %d, %d", r50, r101, r152)
+	}
+}
+
+func TestCutPointsExcludeSkipInteriorsAndFusedPairs(t *testing.T) {
+	m := ResNet50(ImageNetInput, 1000)
+	cuts, err := m.CutPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSkip := make(map[int]bool)
+	for j, l := range m.Layers {
+		if l.Type == Add {
+			for i := l.SkipFrom + 1; i < j; i++ {
+				inSkip[i] = true
+			}
+		}
+	}
+	for _, c := range cuts {
+		if inSkip[c] {
+			t.Fatalf("cut point %d is inside a residual span", c)
+		}
+		if c+1 < len(m.Layers) {
+			next := m.Layers[c+1].Type
+			if m.Layers[c].HasWeights() && (next == ReLU || next == BatchNorm) {
+				t.Fatalf("cut point %d separates a weight layer from its activation", c)
+			}
+		}
+	}
+	if len(cuts) == 0 {
+		t.Fatal("ResNet50 must still expose legal cut points")
+	}
+}
+
+func TestSliceBlocksBalancedAndContiguous(t *testing.T) {
+	m := VGG11(CIFARInput, CIFARClasses)
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		blocks, err := m.SliceBlocks(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(blocks) != n {
+			t.Fatalf("n=%d: got %d blocks", n, len(blocks))
+		}
+		if blocks[0].Start != 0 || blocks[n-1].End != len(m.Layers) {
+			t.Fatalf("n=%d: blocks do not cover the model: %v", n, blocks)
+		}
+		for i := 1; i < n; i++ {
+			if blocks[i].Start != blocks[i-1].End {
+				t.Fatalf("n=%d: blocks not contiguous: %v", n, blocks)
+			}
+			if blocks[i].Len() <= 0 {
+				t.Fatalf("n=%d: empty block: %v", n, blocks)
+			}
+		}
+	}
+	maccs, err := m.BlockMACCs(mustBlocks(t, m, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := m.MACCs()
+	for i, b := range maccs {
+		frac := float64(b) / float64(total)
+		if frac < 0.10 || frac > 0.65 {
+			t.Errorf("block %d holds %.0f%% of MACCs — balance too poor", i, frac*100)
+		}
+	}
+}
+
+func mustBlocks(t *testing.T, m *Model, n int) []Block {
+	t.Helper()
+	blocks, err := m.SliceBlocks(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+func TestSliceBlocksErrors(t *testing.T) {
+	m := VGG11(CIFARInput, CIFARClasses)
+	if _, err := m.SliceBlocks(0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := m.SliceBlocks(1000); err == nil {
+		t.Fatal("expected error for more blocks than cut points")
+	}
+}
+
+func TestSliceCopies(t *testing.T) {
+	m := VGG11(CIFARInput, CIFARClasses)
+	b := Block{Start: 0, End: 3}
+	layers := m.Slice(b)
+	layers[0].Out = 1
+	if m.Layers[0].Out == 1 {
+		t.Fatal("Slice must copy layers")
+	}
+}

@@ -1,0 +1,191 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cadmc/internal/emulator"
+)
+
+func TestTableIShape(t *testing.T) {
+	rows, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table I has %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeasuredMS <= 0 {
+			t.Fatalf("%s: non-positive latency", r.Model)
+		}
+		ratio := r.MeasuredMS / r.PaperMS
+		if ratio < 0.5 || ratio > 1.7 {
+			t.Errorf("%s: ratio %.2f outside [0.5, 1.7]", r.Model, ratio)
+		}
+	}
+	out := RenderTableI(rows)
+	if !strings.Contains(out, "VGG19") || !strings.Contains(out, "ResNet152") {
+		t.Fatal("render missing models")
+	}
+}
+
+func TestFig1Deterministic(t *testing.T) {
+	a, err := Fig1(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig1(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("want 3 series, got %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Stats != b[i].Stats {
+			t.Fatal("Fig. 1 not deterministic")
+		}
+		if len(a[i].FirstSamples) == 0 {
+			t.Fatal("no plot samples")
+		}
+	}
+	if out := RenderFig1(a); !strings.Contains(out, "4G outdoor quick") {
+		t.Fatal("render missing scenario")
+	}
+}
+
+func TestFig5FitsWell(t *testing.T) {
+	fits, err := Fig5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 devices x 3 kernels + transfer = 10 components.
+	if len(fits) != 10 {
+		t.Fatalf("got %d fits, want 10", len(fits))
+	}
+	for _, f := range fits {
+		if f.R2 < 0.9 {
+			t.Errorf("%s: R² %.3f < 0.9", f.Component, f.R2)
+		}
+		if f.Slope <= 0 {
+			t.Errorf("%s: non-positive slope", f.Component)
+		}
+	}
+	// The phone's k=3 fitted slope must recover ≈0.29 ns/MACC.
+	for _, f := range fits {
+		if f.Component == "XiaomiMI6X conv k=3" {
+			if f.Slope < 0.25 || f.Slope > 0.40 {
+				t.Errorf("phone k=3 slope %.3f ns/MACC, want ≈0.29–0.35 (with small-map scaling)", f.Slope)
+			}
+		}
+	}
+	if out := RenderFig5(fits); !strings.Contains(out, "transfer") {
+		t.Fatal("render missing transfer fit")
+	}
+}
+
+func TestFig7RLBeatsBaselines(t *testing.T) {
+	curves, err := Fig7(60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("got %d curves, want 3", len(curves))
+	}
+	rl := curves[0]
+	if rl.Method != "RL (ours)" {
+		t.Fatalf("first curve is %q", rl.Method)
+	}
+	for _, c := range curves[1:] {
+		if rl.Best < c.Best-1 {
+			t.Errorf("RL (%.2f) below %s (%.2f)", rl.Best, c.Method, c.Best)
+		}
+	}
+	for _, c := range curves {
+		for i := 1; i < len(c.History); i++ {
+			if c.History[i] < c.History[i-1] {
+				t.Fatalf("%s: best-so-far history decreased", c.Method)
+			}
+		}
+	}
+	if out := RenderFig7(curves); !strings.Contains(out, "367.70") {
+		t.Fatal("render missing paper reference values")
+	}
+}
+
+func TestFig8Ordering(t *testing.T) {
+	rows, err := Fig8(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Measured > rows[2].Measured {
+		t.Errorf("surgery (%.2f) must not beat the tree (%.2f)", rows[0].Measured, rows[2].Measured)
+	}
+	if out := RenderFig8(rows); !strings.Contains(out, "Model Tree") {
+		t.Fatal("render missing strategies")
+	}
+}
+
+func TestTableIICatalogue(t *testing.T) {
+	rows := TableII()
+	if len(rows) != 7 {
+		t.Fatalf("Table II has %d rows, want 7", len(rows))
+	}
+	out := RenderTableII(rows)
+	for _, want := range []string{"F1 (SVD)", "W1 (Filter Pruning)", "Fire layer"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestEvaluateSubsetAndRenders(t *testing.T) {
+	opts := emulator.DefaultTrainOptions()
+	opts.TreeEpisodes = 30
+	opts.BranchEpisodes = 40
+	opts.TraceMS = 120_000
+	specs := []emulator.ScenarioSpec{
+		{ModelName: "AlexNet", DeviceName: "Phone", EnvName: "4G indoor static", TraceSeed: 3},
+	}
+	ev, err := Evaluate(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Trained) != 1 || len(ev.Emu) != 1 || len(ev.Field) != 1 {
+		t.Fatal("evaluation incomplete")
+	}
+	for _, render := range []string{
+		RenderTableIII(ev), RenderTableIV(ev), RenderTableV(ev),
+	} {
+		if !strings.Contains(render, "AlexNet/Phone/4G indoor static") {
+			t.Fatal("render missing scenario row")
+		}
+		if !strings.Contains(render, "Average") {
+			t.Fatal("render missing average row")
+		}
+	}
+	heads := Headlines(ev)
+	h, ok := heads["AlexNet"]
+	if !ok {
+		t.Fatal("missing AlexNet headline")
+	}
+	if h.LatencyReductionPct <= 0 {
+		t.Errorf("tree must reduce latency vs surgery, got %.2f%%", h.LatencyReductionPct)
+	}
+}
+
+func TestStandardProblemUnknowns(t *testing.T) {
+	if _, _, err := standardProblem("VGG11", "Toaster", "4G indoor static", 1); err == nil {
+		t.Fatal("expected unknown-device error")
+	}
+	if _, _, err := standardProblem("VGG11", "Phone", "underwater", 1); err == nil {
+		t.Fatal("expected unknown-scenario error")
+	}
+	if _, _, err := standardProblem("NotANet", "Phone", "4G indoor static", 1); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}

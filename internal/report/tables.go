@@ -1,0 +1,234 @@
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cadmc/internal/emulator"
+)
+
+// paperTableIII holds the published offline training rewards, keyed by
+// model/device/environment (Table III).
+var paperTableIII = map[string][3]float64{ // surgery, branch, tree
+	"VGG11/Phone/4G (weak) indoor":      {353.57, 354.29, 355.93},
+	"VGG11/Phone/4G indoor static":      {358.90, 362.06, 365.64},
+	"VGG11/Phone/4G indoor slow":        {354.45, 355.94, 357.08},
+	"VGG11/Phone/4G outdoor quick":      {360.43, 365.99, 368.68},
+	"VGG11/Phone/WiFi (weak) indoor":    {359.75, 363.94, 365.07},
+	"VGG11/Phone/WiFi (weak) outdoor":   {359.25, 363.47, 366.53},
+	"VGG11/Phone/WiFi outdoor slow":     {357.88, 361.77, 363.69},
+	"VGG11/TX2/4G (weak) indoor":        {335.94, 340.54, 346.33},
+	"VGG11/TX2/4G indoor static":        {337.89, 343.83, 353.13},
+	"VGG11/TX2/WiFi (weak) indoor":      {343.30, 347.31, 353.64},
+	"AlexNet/Phone/4G indoor static":    {348.64, 358.54, 359.77},
+	"AlexNet/Phone/WiFi (weak) indoor":  {341.08, 356.59, 359.96},
+	"AlexNet/Phone/WiFi (weak) outdoor": {354.34, 358.02, 359.61},
+	"AlexNet/Phone/WiFi outdoor slow":   {344.13, 357.42, 358.89},
+}
+
+// paperTableIV holds Table IV (emulation): per row, surgery/branch/tree
+// (reward, latency ms, accuracy %).
+var paperTableIV = map[string][9]float64{
+	"VGG11/Phone/4G (weak) indoor":      {334.92, 346.48, 344.21, 81.83, 61.12, 64.96, 92.01, 91.58, 91.59},
+	"VGG11/Phone/4G indoor static":      {335.65, 340.35, 352.27, 80.62, 69.72, 50.21, 92.01, 91.09, 91.20},
+	"VGG11/Phone/4G indoor slow":        {326.19, 345.63, 345.76, 96.39, 60.55, 60.42, 92.01, 90.98, 91.01},
+	"VGG11/Phone/4G outdoor quick":      {349.39, 354.99, 361.36, 57.71, 57.71, 31.86, 92.01, 89.52, 90.24},
+	"VGG11/Phone/WiFi (weak) indoor":    {351.85, 357.26, 358.71, 53.62, 40.45, 38.27, 92.01, 90.76, 90.84},
+	"VGG11/Phone/WiFi (weak) outdoor":   {334.66, 353.83, 354.03, 82.27, 38.67, 38.90, 92.01, 88.52, 88.69},
+	"VGG11/Phone/WiFi outdoor slow":     {351.33, 356.26, 356.57, 54.48, 44.45, 43.96, 92.01, 91.47, 91.47},
+	"VGG11/TX2/4G (weak) indoor":        {326.85, 328.82, 329.66, 95.28, 87.25, 85.93, 92.01, 90.58, 90.61},
+	"VGG11/TX2/4G indoor static":        {323.31, 330.27, 332.58, 101.18, 88.46, 84.77, 92.01, 91.67, 91.72},
+	"VGG11/TX2/WiFi (weak) indoor":      {336.36, 344.18, 343.54, 79.43, 60.78, 61.84, 92.01, 90.32, 90.32},
+	"AlexNet/Phone/4G indoor static":    {342.68, 341.73, 343.43, 42.47, 44.29, 41.42, 84.08, 84.15, 84.14},
+	"AlexNet/Phone/WiFi (weak) indoor":  {348.46, 356.87, 357.19, 32.83, 19.43, 18.88, 84.08, 84.26, 84.26},
+	"AlexNet/Phone/WiFi (weak) outdoor": {346.68, 346.58, 347.15, 35.80, 34.97, 34.10, 84.08, 83.78, 83.80},
+	"AlexNet/Phone/WiFi outdoor slow":   {339.50, 354.49, 354.84, 47.77, 19.58, 19.10, 84.08, 83.12, 83.15},
+}
+
+// paperTableV holds Table V (field test), same layout as Table IV.
+var paperTableV = map[string][9]float64{
+	"VGG11/Phone/4G (weak) indoor":      {297.96, 319.65, 324.87, 143.44, 104.85, 98.58, 92.01, 91.28, 92.01},
+	"VGG11/Phone/4G indoor static":      {339.63, 344.40, 345.27, 73.99, 66.03, 64.58, 92.01, 92.01, 92.01},
+	"VGG11/Phone/4G indoor slow":        {296.77, 304.92, 319.89, 145.41, 131.83, 106.89, 92.01, 92.01, 92.01},
+	"VGG11/Phone/4G outdoor quick":      {327.02, 335.68, 337.78, 95.00, 65.46, 77.07, 92.01, 87.48, 92.01},
+	"VGG11/Phone/WiFi (weak) indoor":    {308.19, 325.87, 322.46, 126.38, 90.71, 96.41, 92.01, 90.15, 90.15},
+	"VGG11/Phone/WiFi (weak) outdoor":   {293.21, 328.73, 333.16, 151.36, 74.82, 84.77, 92.01, 86.81, 92.01},
+	"VGG11/Phone/WiFi outdoor slow":     {305.65, 312.24, 317.93, 130.62, 116.91, 107.41, 92.01, 91.19, 91.19},
+	"VGG11/TX2/4G (weak) indoor":        {272.46, 323.66, 328.96, 185.93, 100.60, 91.77, 92.01, 92.01, 92.01},
+	"VGG11/TX2/4G indoor static":        {323.73, 322.45, 323.43, 100.49, 102.61, 100.98, 92.01, 92.01, 92.01},
+	"VGG11/TX2/WiFi (weak) indoor":      {249.94, 343.17, 347.81, 223.47, 54.42, 46.68, 92.01, 87.91, 87.91},
+	"AlexNet/Phone/4G indoor static":    {351.15, 353.12, 353.73, 28.35, 25.06, 25.91, 84.08, 84.08, 84.64},
+	"AlexNet/Phone/WiFi (weak) indoor":  {257.74, 325.12, 329.70, 184.04, 73.17, 64.10, 84.08, 84.52, 84.08},
+	"AlexNet/Phone/WiFi (weak) outdoor": {254.43, 265.29, 294.71, 189.55, 171.46, 114.22, 84.08, 84.08, 81.62},
+	"AlexNet/Phone/WiFi outdoor slow":   {277.76, 337.07, 327.07, 150.67, 46.85, 63.52, 84.08, 82.59, 82.59},
+}
+
+// Evaluation carries the trained scenarios plus their emulation and field
+// replays — the data behind Tables III, IV and V.
+type Evaluation struct {
+	Trained []*emulator.TrainedScenario
+	Emu     [][]emulator.Result
+	Field   [][]emulator.Result
+}
+
+// Evaluate trains every paper scenario and replays both modes. Scenarios may
+// be restricted to a subset for quick runs (nil means all 14 rows).
+// Scenarios are independent and fully deterministic, so they train on a
+// bounded worker pool; results keep the input order.
+func Evaluate(specs []emulator.ScenarioSpec, opts emulator.TrainOptions) (*Evaluation, error) {
+	if specs == nil {
+		specs = emulator.PaperScenarios()
+	}
+	ev := &Evaluation{
+		Trained: make([]*emulator.TrainedScenario, len(specs)),
+		Emu:     make([][]emulator.Result, len(specs)),
+		Field:   make([][]emulator.Result, len(specs)),
+	}
+	workers := runtime.NumCPU()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec emulator.ScenarioSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ts, err := emulator.Train(spec, opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("report: train %s: %w", spec, err)
+				return
+			}
+			emu, err := ts.Run(emulator.DefaultConfig(emulator.ModeEmulation))
+			if err != nil {
+				errs[i] = fmt.Errorf("report: emulate %s: %w", spec, err)
+				return
+			}
+			field, err := ts.Run(emulator.DefaultConfig(emulator.ModeField))
+			if err != nil {
+				errs[i] = fmt.Errorf("report: field %s: %w", spec, err)
+				return
+			}
+			ev.Trained[i] = ts
+			ev.Emu[i] = emu
+			ev.Field[i] = field
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
+}
+
+// RenderTableIII formats the offline-training-reward table with the paper's
+// values alongside.
+func RenderTableIII(ev *Evaluation) string {
+	var b strings.Builder
+	b.WriteString("Table III — offline training reward (paper values in parentheses)\n")
+	fmt.Fprintf(&b, "%-36s %18s %18s %18s\n", "Scenario", "Surgery", "Branch", "Tree")
+	var sumS, sumB, sumT float64
+	for _, ts := range ev.Trained {
+		key := ts.Spec.String()
+		paper := paperTableIII[key]
+		fmt.Fprintf(&b, "%-36s %8.2f (%6.2f) %8.2f (%6.2f) %8.2f (%6.2f)\n",
+			key, ts.SurgeryReward, paper[0], ts.BranchReward, paper[1], ts.TreeReward, paper[2])
+		sumS += ts.SurgeryReward
+		sumB += ts.BranchReward
+		sumT += ts.TreeReward
+	}
+	n := float64(len(ev.Trained))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-36s %8.2f %9s %8.2f %9s %8.2f\n", "Average", sumS/n, "", sumB/n, "", sumT/n)
+	}
+	return b.String()
+}
+
+// renderEval formats a Table IV/V-style block.
+func renderEval(title string, rows [][]emulator.Result, trained []*emulator.TrainedScenario,
+	paper map[string][9]float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-36s | %-26s | %-26s | %-23s\n",
+		"Scenario", "reward S/B/T", "latency ms S/B/T", "accuracy % S/B/T")
+	var agg [9]float64
+	for i, rs := range rows {
+		key := trained[i].Spec.String()
+		p := paper[key]
+		fmt.Fprintf(&b, "%-36s | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %7.2f %7.2f %7.2f\n",
+			key,
+			rs[0].MeanReward, rs[1].MeanReward, rs[2].MeanReward,
+			rs[0].MeanLatencyMS, rs[1].MeanLatencyMS, rs[2].MeanLatencyMS,
+			rs[0].MeanAccuracy, rs[1].MeanAccuracy, rs[2].MeanAccuracy)
+		fmt.Fprintf(&b, "%-36s | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %7.2f %7.2f %7.2f\n",
+			"  (paper)",
+			p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7], p[8])
+		for j := 0; j < 3; j++ {
+			agg[j] += rs[j].MeanReward
+			agg[3+j] += rs[j].MeanLatencyMS
+			agg[6+j] += rs[j].MeanAccuracy
+		}
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-36s | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %7.2f %7.2f %7.2f\n",
+			"Average",
+			agg[0]/n, agg[1]/n, agg[2]/n, agg[3]/n, agg[4]/n, agg[5]/n, agg[6]/n, agg[7]/n, agg[8]/n)
+	}
+	return b.String()
+}
+
+// RenderTableIV formats the emulation results.
+func RenderTableIV(ev *Evaluation) string {
+	return renderEval("Table IV — emulation results (S=Surgery, B=Branch, T=Tree)", ev.Emu, ev.Trained, paperTableIV)
+}
+
+// RenderTableV formats the field-test results.
+func RenderTableV(ev *Evaluation) string {
+	return renderEval("Table V — field test results (S=Surgery, B=Branch, T=Tree)", ev.Field, ev.Trained, paperTableV)
+}
+
+// Headline summarises the paper's headline claim from an evaluation: the
+// tree's latency reduction vs surgery and its accuracy loss, in field mode.
+type Headline struct {
+	LatencyReductionPct float64
+	AccuracyLossPct     float64
+}
+
+// Headlines computes the per-model field-mode headline numbers (the paper
+// claims a 30–50% latency reduction at ≈1% accuracy loss).
+func Headlines(ev *Evaluation) map[string]Headline {
+	type acc struct{ sLat, tLat, sAcc, tAcc, n float64 }
+	per := make(map[string]*acc)
+	for i, rs := range ev.Field {
+		model := ev.Trained[i].Spec.ModelName
+		a := per[model]
+		if a == nil {
+			a = &acc{}
+			per[model] = a
+		}
+		a.sLat += rs[0].MeanLatencyMS
+		a.tLat += rs[2].MeanLatencyMS
+		a.sAcc += rs[0].MeanAccuracy
+		a.tAcc += rs[2].MeanAccuracy
+		a.n++
+	}
+	out := make(map[string]Headline, len(per))
+	for model, a := range per {
+		out[model] = Headline{
+			LatencyReductionPct: 100 * (1 - (a.tLat/a.n)/(a.sLat/a.n)),
+			AccuracyLossPct:     a.sAcc/a.n - a.tAcc/a.n,
+		}
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-direction LSTM layer with input dimension In and hidden
+// dimension H. Gate order in the stacked weight matrices is i, f, g, o.
+type LSTM struct {
+	In, H int
+	// W maps input → gates (4H×In), U maps hidden → gates (4H×H),
+	// B is the gate bias (4H).
+	W, U, B *Param
+}
+
+// NewLSTM builds an LSTM with Xavier-initialised weights and forget bias 1.
+func NewLSTM(in, hidden int, rng *rand.Rand) (*LSTM, error) {
+	if in <= 0 || hidden <= 0 {
+		return nil, fmt.Errorf("rl: lstm dims must be positive, got %d/%d", in, hidden)
+	}
+	l := &LSTM{
+		In: in, H: hidden,
+		W: newParam(4*hidden*in, xavier(rng, in, hidden)),
+		U: newParam(4*hidden*hidden, xavier(rng, hidden, hidden)),
+		B: newParam(4*hidden, nil),
+	}
+	// Forget-gate bias 1 stabilises early training.
+	for j := hidden; j < 2*hidden; j++ {
+		l.B.Val[j] = 1
+	}
+	return l, nil
+}
+
+// Params exposes the trainable blocks.
+func (l *LSTM) Params() []*Param { return []*Param{l.W, l.U, l.B} }
+
+// lstmStep caches one timestep for BPTT.
+type lstmStep struct {
+	x          []float64
+	hPrev      []float64
+	cPrev      []float64
+	i, f, g, o []float64 // post-activation gates
+	c, h       []float64
+}
+
+// LSTMCache holds the forward trajectory for the backward pass.
+type LSTMCache struct {
+	steps []lstmStep
+}
+
+// Forward runs the sequence, returning per-timestep hidden states and the
+// cache for Backward. Initial hidden and cell states are zero.
+func (l *LSTM) Forward(seq [][]float64) ([][]float64, *LSTMCache, error) {
+	h := make([]float64, l.H)
+	c := make([]float64, l.H)
+	cache := &LSTMCache{steps: make([]lstmStep, 0, len(seq))}
+	outs := make([][]float64, 0, len(seq))
+	for t, x := range seq {
+		if len(x) != l.In {
+			return nil, nil, fmt.Errorf("rl: lstm step %d input dim %d, want %d", t, len(x), l.In)
+		}
+		st := lstmStep{
+			x:     x,
+			hPrev: h,
+			cPrev: c,
+			i:     make([]float64, l.H),
+			f:     make([]float64, l.H),
+			g:     make([]float64, l.H),
+			o:     make([]float64, l.H),
+			c:     make([]float64, l.H),
+			h:     make([]float64, l.H),
+		}
+		for j := 0; j < l.H; j++ {
+			zi := l.gate(0, j, x, h)
+			zf := l.gate(1, j, x, h)
+			zg := l.gate(2, j, x, h)
+			zo := l.gate(3, j, x, h)
+			st.i[j] = sigmoid(zi)
+			st.f[j] = sigmoid(zf)
+			st.g[j] = math.Tanh(zg)
+			st.o[j] = sigmoid(zo)
+			st.c[j] = st.f[j]*c[j] + st.i[j]*st.g[j]
+			st.h[j] = st.o[j] * math.Tanh(st.c[j])
+		}
+		h = st.h
+		c = st.c
+		cache.steps = append(cache.steps, st)
+		outs = append(outs, st.h)
+	}
+	return outs, cache, nil
+}
+
+// gate computes pre-activation z for gate block b (0..3), unit j.
+func (l *LSTM) gate(b, j int, x, h []float64) float64 {
+	row := (b*l.H + j)
+	z := l.B.Val[row]
+	wRow := l.W.Val[row*l.In : (row+1)*l.In]
+	for k, xv := range x {
+		z += wRow[k] * xv
+	}
+	uRow := l.U.Val[row*l.H : (row+1)*l.H]
+	for k, hv := range h {
+		z += uRow[k] * hv
+	}
+	return z
+}
+
+// Backward runs BPTT given per-timestep gradients dH on the hidden outputs.
+// It accumulates parameter gradients and returns per-timestep input
+// gradients.
+func (l *LSTM) Backward(cache *LSTMCache, dH [][]float64) ([][]float64, error) {
+	n := len(cache.steps)
+	if len(dH) != n {
+		return nil, fmt.Errorf("rl: lstm backward got %d grads for %d steps", len(dH), n)
+	}
+	dX := make([][]float64, n)
+	dhNext := make([]float64, l.H)
+	dcNext := make([]float64, l.H)
+	dz := make([]float64, 4*l.H)
+	for t := n - 1; t >= 0; t-- {
+		st := cache.steps[t]
+		dh := make([]float64, l.H)
+		copy(dh, dhNext)
+		for j := range dh {
+			dh[j] += dH[t][j]
+		}
+		dhPrev := make([]float64, l.H)
+		dcPrev := make([]float64, l.H)
+		for j := 0; j < l.H; j++ {
+			tc := math.Tanh(st.c[j])
+			do := dh[j] * tc
+			dc := dcNext[j] + dh[j]*st.o[j]*(1-tc*tc)
+			di := dc * st.g[j]
+			df := dc * st.cPrev[j]
+			dg := dc * st.i[j]
+			dcPrev[j] = dc * st.f[j]
+			dz[0*l.H+j] = di * st.i[j] * (1 - st.i[j])
+			dz[1*l.H+j] = df * st.f[j] * (1 - st.f[j])
+			dz[2*l.H+j] = dg * (1 - st.g[j]*st.g[j])
+			dz[3*l.H+j] = do * st.o[j] * (1 - st.o[j])
+		}
+		dx := make([]float64, l.In)
+		for row := 0; row < 4*l.H; row++ {
+			gz := dz[row]
+			if gz == 0 {
+				continue
+			}
+			l.B.Grad[row] += gz
+			wRow := l.W.Val[row*l.In : (row+1)*l.In]
+			gwRow := l.W.Grad[row*l.In : (row+1)*l.In]
+			for k := 0; k < l.In; k++ {
+				gwRow[k] += gz * st.x[k]
+				dx[k] += gz * wRow[k]
+			}
+			uRow := l.U.Val[row*l.H : (row+1)*l.H]
+			guRow := l.U.Grad[row*l.H : (row+1)*l.H]
+			for k := 0; k < l.H; k++ {
+				guRow[k] += gz * st.hPrev[k]
+				dhPrev[k] += gz * uRow[k]
+			}
+		}
+		dX[t] = dx
+		dhNext = dhPrev
+		dcNext = dcPrev
+	}
+	return dX, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// BiLSTM is a bidirectional LSTM: a forward and a backward pass whose hidden
+// states are concatenated per timestep — the encoder of both controllers
+// (Fig. 6: "a DNN layer x_i is fed into a forward LSTM as well as a backward
+// LSTM to compute the corresponding hidden states H_i").
+type BiLSTM struct {
+	Fwd, Bwd *LSTM
+}
+
+// NewBiLSTM builds a bidirectional LSTM with the given per-direction hidden
+// size; its output dimension is 2·hidden.
+func NewBiLSTM(in, hidden int, rng *rand.Rand) (*BiLSTM, error) {
+	f, err := NewLSTM(in, hidden, rng)
+	if err != nil {
+		return nil, err
+	}
+	b, err := NewLSTM(in, hidden, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &BiLSTM{Fwd: f, Bwd: b}, nil
+}
+
+// OutDim returns the concatenated hidden dimension.
+func (b *BiLSTM) OutDim() int { return b.Fwd.H + b.Bwd.H }
+
+// Params exposes both directions' parameters.
+func (b *BiLSTM) Params() []*Param {
+	return append(b.Fwd.Params(), b.Bwd.Params()...)
+}
+
+// BiCache holds both directions' caches.
+type BiCache struct {
+	fwd, bwd *LSTMCache
+	n        int
+}
+
+// Forward encodes the sequence, returning per-timestep concatenated hidden
+// states [h_fwd(t) ; h_bwd(t)].
+func (b *BiLSTM) Forward(seq [][]float64) ([][]float64, *BiCache, error) {
+	fOut, fCache, err := b.Fwd.Forward(seq)
+	if err != nil {
+		return nil, nil, err
+	}
+	rev := make([][]float64, len(seq))
+	for i := range seq {
+		rev[i] = seq[len(seq)-1-i]
+	}
+	bOutRev, bCache, err := b.Bwd.Forward(rev)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]float64, len(seq))
+	for t := range seq {
+		h := make([]float64, 0, b.OutDim())
+		h = append(h, fOut[t]...)
+		h = append(h, bOutRev[len(seq)-1-t]...)
+		out[t] = h
+	}
+	return out, &BiCache{fwd: fCache, bwd: bCache, n: len(seq)}, nil
+}
+
+// Backward propagates per-timestep gradients on the concatenated states.
+func (b *BiLSTM) Backward(cache *BiCache, dH [][]float64) error {
+	if len(dH) != cache.n {
+		return fmt.Errorf("rl: bilstm backward got %d grads for %d steps", len(dH), cache.n)
+	}
+	dF := make([][]float64, cache.n)
+	dBrev := make([][]float64, cache.n)
+	hf := b.Fwd.H
+	for t := 0; t < cache.n; t++ {
+		if len(dH[t]) != b.OutDim() {
+			return fmt.Errorf("rl: bilstm grad dim %d, want %d", len(dH[t]), b.OutDim())
+		}
+		dF[t] = dH[t][:hf]
+		dBrev[cache.n-1-t] = dH[t][hf:]
+	}
+	if _, err := b.Fwd.Backward(cache.fwd, dF); err != nil {
+		return err
+	}
+	if _, err := b.Bwd.Backward(cache.bwd, dBrev); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Linear is a dense layer y = Wx + b.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+}
+
+// NewLinear builds a Xavier-initialised dense layer.
+func NewLinear(in, out int, rng *rand.Rand) (*Linear, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("rl: linear dims must be positive, got %d/%d", in, out)
+	}
+	return &Linear{
+		In: in, Out: out,
+		W: newParam(out*in, xavier(rng, in, out)),
+		B: newParam(out, nil),
+	}, nil
+}
+
+// Params exposes the trainable blocks.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward computes y = Wx + b.
+func (l *Linear) Forward(x []float64) ([]float64, error) {
+	if len(x) != l.In {
+		return nil, fmt.Errorf("rl: linear input dim %d, want %d", len(x), l.In)
+	}
+	y := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		row := l.W.Val[o*l.In : (o+1)*l.In]
+		s := l.B.Val[o]
+		for k, xv := range x {
+			s += row[k] * xv
+		}
+		y[o] = s
+	}
+	return y, nil
+}
+
+// Backward accumulates gradients for dY and returns dX.
+func (l *Linear) Backward(x, dY []float64) ([]float64, error) {
+	if len(x) != l.In || len(dY) != l.Out {
+		return nil, fmt.Errorf("rl: linear backward dims %d/%d, want %d/%d", len(x), len(dY), l.In, l.Out)
+	}
+	dx := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		g := dY[o]
+		l.B.Grad[o] += g
+		if g == 0 {
+			continue
+		}
+		row := l.W.Val[o*l.In : (o+1)*l.In]
+		gRow := l.W.Grad[o*l.In : (o+1)*l.In]
+		for k, xv := range x {
+			gRow[k] += g * xv
+			dx[k] += g * row[k]
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,272 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLSTMGradientCheck validates BPTT against central finite differences on
+// a scalar loss L = Σ_t w·h_t.
+func TestLSTMGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	lstm, err := NewLSTM(3, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{
+		{0.5, -0.2, 0.1},
+		{-0.3, 0.8, 0.4},
+		{0.2, 0.1, -0.6},
+	}
+	weights := make([]float64, lstm.H)
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	loss := func() float64 {
+		outs, _, err := lstm.Forward(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, h := range outs {
+			for j, v := range h {
+				s += weights[j] * v
+			}
+		}
+		return s
+	}
+	// Analytic gradients.
+	outs, cache, err := lstm.Forward(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dH := make([][]float64, len(outs))
+	for tt := range outs {
+		dH[tt] = make([]float64, lstm.H)
+		copy(dH[tt], weights)
+	}
+	dX, err := lstm.Backward(cache, dH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	check := func(name string, vals, grads []float64, idxs []int) {
+		for _, i := range idxs {
+			orig := vals[i]
+			vals[i] = orig + eps
+			up := loss()
+			vals[i] = orig - eps
+			down := loss()
+			vals[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-grads[i]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: numeric %g vs analytic %g", name, i, numeric, grads[i])
+			}
+		}
+	}
+	check("W", lstm.W.Val, lstm.W.Grad, []int{0, 7, len(lstm.W.Val) / 2, len(lstm.W.Val) - 1})
+	check("U", lstm.U.Val, lstm.U.Grad, []int{0, 5, len(lstm.U.Val) / 2, len(lstm.U.Val) - 1})
+	check("B", lstm.B.Val, lstm.B.Grad, []int{0, 4, 8, len(lstm.B.Val) - 1})
+	// Input gradients.
+	for tt := range seq {
+		for k := range seq[tt] {
+			orig := seq[tt][k]
+			seq[tt][k] = orig + eps
+			up := loss()
+			seq[tt][k] = orig - eps
+			down := loss()
+			seq[tt][k] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-dX[tt][k]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Errorf("dX[%d][%d]: numeric %g vs analytic %g", tt, k, numeric, dX[tt][k])
+			}
+		}
+	}
+}
+
+func TestLSTMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewLSTM(0, 3, rng); err == nil {
+		t.Fatal("expected dim error")
+	}
+	lstm, err := NewLSTM(2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lstm.Forward([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("expected input-dim error")
+	}
+	_, cache, err := lstm.Forward([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lstm.Backward(cache, nil); err == nil {
+		t.Fatal("expected grad-count error")
+	}
+}
+
+func TestBiLSTMShapesAndDirectionality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bi, err := NewBiLSTM(2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.OutDim() != 6 {
+		t.Fatalf("OutDim = %d, want 6", bi.OutDim())
+	}
+	seq := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	out, _, err := bi.Forward(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || len(out[0]) != 6 {
+		t.Fatalf("output shape %dx%d, want 3x6", len(out), len(out[0]))
+	}
+	// The backward direction must make early timesteps depend on late
+	// inputs: perturbing the last input must change the first output.
+	seq2 := [][]float64{{1, 0}, {0, 1}, {-3, 2}}
+	out2, _, err := bi.Forward(seq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for j := range out[0] {
+		diff += math.Abs(out[0][j] - out2[0][j])
+	}
+	if diff < 1e-9 {
+		t.Fatal("bidirectional encoder must propagate information backwards")
+	}
+}
+
+// TestBiLSTMGradientCheck validates the split/concat plumbing end to end.
+func TestBiLSTMGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	bi, err := NewBiLSTM(2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{{0.3, -0.1}, {0.7, 0.2}}
+	w := make([]float64, bi.OutDim())
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	loss := func() float64 {
+		outs, _, err := bi.Forward(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, h := range outs {
+			for j, v := range h {
+				s += w[j] * v
+			}
+		}
+		return s
+	}
+	outs, cache, err := bi.Forward(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dH := make([][]float64, len(outs))
+	for tt := range outs {
+		dH[tt] = make([]float64, bi.OutDim())
+		copy(dH[tt], w)
+	}
+	if err := bi.Backward(cache, dH); err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	for _, p := range []*Param{bi.Fwd.W, bi.Bwd.W, bi.Fwd.B, bi.Bwd.B} {
+		for _, i := range []int{0, len(p.Val) / 2, len(p.Val) - 1} {
+			orig := p.Val[i]
+			p.Val[i] = orig + eps
+			up := loss()
+			p.Val[i] = orig - eps
+			down := loss()
+			p.Val[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-p.Grad[i]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Errorf("param[%d]: numeric %g vs analytic %g", i, numeric, p.Grad[i])
+			}
+		}
+	}
+}
+
+func TestLinearForwardBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lin, err := NewLinear(3, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, -1, 2}
+	y, err := lin.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 2 {
+		t.Fatalf("output dim %d, want 2", len(y))
+	}
+	dx, err := lin.Backward(x, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dx must equal the first row of W.
+	for k := 0; k < 3; k++ {
+		if math.Abs(dx[k]-lin.W.Val[k]) > 1e-12 {
+			t.Fatalf("dx[%d] = %v, want W[0][%d] = %v", k, dx[k], k, lin.W.Val[k])
+		}
+	}
+	if _, err := lin.Forward([]float64{1}); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := lin.Backward(x, []float64{1}); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := NewLinear(0, 2, rng); err == nil {
+		t.Fatal("expected dim error")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := newParam(2, func(i int) float64 { return 5 })
+	opt, err := NewAdam(0.1, []*Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		for j := range p.Val {
+			p.Grad[j] = 2 * (p.Val[j] - 1) // minimise (x-1)²
+		}
+		opt.Step()
+	}
+	for j := range p.Val {
+		if math.Abs(p.Val[j]-1) > 0.05 {
+			t.Fatalf("Adam failed to converge: %v", p.Val)
+		}
+	}
+}
+
+func TestAdamValidation(t *testing.T) {
+	if _, err := NewAdam(0, []*Param{newParam(1, nil)}); err == nil {
+		t.Fatal("expected lr error")
+	}
+	if _, err := NewAdam(0.1, nil); err == nil {
+		t.Fatal("expected empty-params error")
+	}
+}
+
+func TestAdamClipsGradients(t *testing.T) {
+	p := newParam(1, func(int) float64 { return 0 })
+	opt, err := NewAdam(0.1, []*Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.ClipNorm = 1
+	p.Grad[0] = 1e6
+	opt.Step()
+	// After clipping, the first Adam step magnitude is bounded by ~lr.
+	if math.Abs(p.Val[0]) > 0.2 {
+		t.Fatalf("clipped step too large: %v", p.Val[0])
+	}
+}

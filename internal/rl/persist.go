@@ -1,0 +1,93 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// policyState is the serialised form of a controller's parameter blocks.
+type policyState struct {
+	Kind   string      `json:"kind"`
+	Dims   []int       `json:"dims"`
+	Blocks [][]float64 `json:"blocks"`
+}
+
+// collectParams flattens parameter blocks for serialisation.
+func collectParams(params []*Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Val...)
+	}
+	return out
+}
+
+// restoreParams copies serialised blocks back into parameters.
+func restoreParams(params []*Param, blocks [][]float64) error {
+	if len(params) != len(blocks) {
+		return fmt.Errorf("rl: state has %d blocks, controller has %d", len(blocks), len(params))
+	}
+	for i, p := range params {
+		if len(p.Val) != len(blocks[i]) {
+			return fmt.Errorf("rl: block %d has %d values, controller needs %d", i, len(blocks[i]), len(p.Val))
+		}
+		copy(p.Val, blocks[i])
+	}
+	return nil
+}
+
+// MarshalJSON serialises the partition controller's weights.
+func (p *PartitionPolicy) MarshalJSON() ([]byte, error) {
+	params := append(p.enc.Params(), p.score.Params()...)
+	params = append(params, p.endScore.Params()...)
+	params = append(params, p.beginScore.Params()...)
+	return json.Marshal(policyState{
+		Kind:   "partition",
+		Dims:   []int{p.enc.Fwd.In, p.enc.Fwd.H},
+		Blocks: collectParams(params),
+	})
+}
+
+// UnmarshalJSON restores weights into an already-constructed controller with
+// matching dimensions (build it with NewPartitionPolicy first).
+func (p *PartitionPolicy) UnmarshalJSON(data []byte) error {
+	var st policyState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("rl: decode partition policy: %w", err)
+	}
+	if st.Kind != "partition" {
+		return fmt.Errorf("rl: state kind %q is not a partition policy", st.Kind)
+	}
+	if len(st.Dims) != 2 || st.Dims[0] != p.enc.Fwd.In || st.Dims[1] != p.enc.Fwd.H {
+		return fmt.Errorf("rl: state dims %v mismatch controller (%d,%d)", st.Dims, p.enc.Fwd.In, p.enc.Fwd.H)
+	}
+	params := append(p.enc.Params(), p.score.Params()...)
+	params = append(params, p.endScore.Params()...)
+	params = append(params, p.beginScore.Params()...)
+	return restoreParams(params, st.Blocks)
+}
+
+// MarshalJSON serialises the compression controller's weights.
+func (c *CompressionPolicy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(policyState{
+		Kind:   "compression",
+		Dims:   []int{c.enc.Fwd.In, c.enc.Fwd.H, c.Actions},
+		Blocks: collectParams(append(c.enc.Params(), c.head.Params()...)),
+	})
+}
+
+// UnmarshalJSON restores weights into an already-constructed controller with
+// matching dimensions.
+func (c *CompressionPolicy) UnmarshalJSON(data []byte) error {
+	var st policyState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("rl: decode compression policy: %w", err)
+	}
+	if st.Kind != "compression" {
+		return fmt.Errorf("rl: state kind %q is not a compression policy", st.Kind)
+	}
+	if len(st.Dims) != 3 || st.Dims[0] != c.enc.Fwd.In || st.Dims[1] != c.enc.Fwd.H || st.Dims[2] != c.Actions {
+		return fmt.Errorf("rl: state dims %v mismatch controller (%d,%d,%d)",
+			st.Dims, c.enc.Fwd.In, c.enc.Fwd.H, c.Actions)
+	}
+	return restoreParams(append(c.enc.Params(), c.head.Params()...), st.Blocks)
+}

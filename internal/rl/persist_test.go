@@ -1,0 +1,99 @@
+package rl
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestPartitionPolicyPersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	orig, err := NewPartitionPolicy(5, 6, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{{1, 0, 0.5, -1, 0.2}, {0, 1, 0.3, 0.4, -0.2}}
+	want, err := orig.Logits(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewPartitionPolicy(5, 6, 0.01, rand.New(rand.NewSource(999)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Logits(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: %v vs %v — restore must be exact", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompressionPolicyPersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	orig, err := NewCompressionPolicy(4, 5, 3, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{{0.1, 0.2, 0.3, 0.4}}
+	want, err := orig.Logits(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewCompressionPolicy(4, 5, 3, 0.01, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Logits(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want[0] {
+		if got[0][i] != want[0][i] {
+			t.Fatalf("logit %d differs after restore", i)
+		}
+	}
+}
+
+func TestPersistDimensionMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	a, err := NewPartitionPolicy(5, 6, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := NewPartitionPolicy(5, 8, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, wrong); err == nil {
+		t.Fatal("expected dimension-mismatch error")
+	}
+	cp, err := NewCompressionPolicy(4, 5, 3, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, cp); err == nil {
+		t.Fatal("expected kind-mismatch error")
+	}
+}

@@ -1,0 +1,257 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PartitionPolicy is the paper's partition search controller (Fig. 6, upper):
+// a bidirectional LSTM over the layer hyper-parameter sequence with a softmax
+// over L+2 choices — cut after layer t (0 ≤ t < L), index L meaning no
+// partition, or index L+1 meaning offload before the first layer (the whole
+// sequence runs on the cloud). The variable sequence length is handled with a
+// per-timestep scalar score head plus end- and begin-of-sequence score heads
+// for the two special actions.
+type PartitionPolicy struct {
+	enc        *BiLSTM
+	score      *Linear
+	endScore   *Linear
+	beginScore *Linear
+	opt        *Adam
+}
+
+// NewPartitionPolicy builds the controller.
+func NewPartitionPolicy(inDim, hidden int, lr float64, rng *rand.Rand) (*PartitionPolicy, error) {
+	enc, err := NewBiLSTM(inDim, hidden, rng)
+	if err != nil {
+		return nil, err
+	}
+	score, err := NewLinear(enc.OutDim(), 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	endScore, err := NewLinear(enc.OutDim(), 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	beginScore, err := NewLinear(enc.OutDim(), 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	params := append(enc.Params(), score.Params()...)
+	params = append(params, endScore.Params()...)
+	params = append(params, beginScore.Params()...)
+	opt, err := NewAdam(lr, params)
+	if err != nil {
+		return nil, err
+	}
+	return &PartitionPolicy{enc: enc, score: score, endScore: endScore, beginScore: beginScore, opt: opt}, nil
+}
+
+// Logits returns the L+2 partition logits for the encoded sequence.
+func (p *PartitionPolicy) Logits(seq [][]float64) ([]float64, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("rl: partition policy needs a non-empty sequence")
+	}
+	hs, _, err := p.enc.Forward(seq)
+	if err != nil {
+		return nil, err
+	}
+	logits := make([]float64, len(seq)+2)
+	for t, h := range hs {
+		y, err := p.score.Forward(h)
+		if err != nil {
+			return nil, err
+		}
+		logits[t] = y[0]
+	}
+	end, err := p.endScore.Forward(hs[len(hs)-1])
+	if err != nil {
+		return nil, err
+	}
+	logits[len(seq)] = end[0]
+	begin, err := p.beginScore.Forward(hs[0])
+	if err != nil {
+		return nil, err
+	}
+	logits[len(seq)+1] = begin[0]
+	return logits, nil
+}
+
+// Sample draws a partition action from the current policy. mask (length L+1)
+// may exclude illegal cut points; nil allows everything.
+func (p *PartitionPolicy) Sample(seq [][]float64, mask []bool, rng *rand.Rand) (int, error) {
+	logits, err := p.Logits(seq)
+	if err != nil {
+		return 0, err
+	}
+	return SampleCategorical(logits, mask, rng)
+}
+
+// Accumulate adds the policy gradient for one (sequence, action, advantage)
+// triple. Call Step to apply accumulated updates.
+func (p *PartitionPolicy) Accumulate(seq [][]float64, mask []bool, action int, advantage float64) error {
+	if len(seq) == 0 {
+		return fmt.Errorf("rl: partition policy needs a non-empty sequence")
+	}
+	if action < 0 || action > len(seq)+1 {
+		return fmt.Errorf("rl: partition action %d out of range [0,%d]", action, len(seq)+1)
+	}
+	hs, cache, err := p.enc.Forward(seq)
+	if err != nil {
+		return err
+	}
+	logits := make([]float64, len(seq)+2)
+	for t, h := range hs {
+		y, err := p.score.Forward(h)
+		if err != nil {
+			return err
+		}
+		logits[t] = y[0]
+	}
+	end, err := p.endScore.Forward(hs[len(hs)-1])
+	if err != nil {
+		return err
+	}
+	logits[len(seq)] = end[0]
+	begin, err := p.beginScore.Forward(hs[0])
+	if err != nil {
+		return err
+	}
+	logits[len(seq)+1] = begin[0]
+
+	dLogits := PolicyGradLogits(logits, mask, action, advantage)
+	dH := make([][]float64, len(seq))
+	for t, h := range hs {
+		dx, err := p.score.Backward(h, []float64{dLogits[t]})
+		if err != nil {
+			return err
+		}
+		dH[t] = dx
+	}
+	dxEnd, err := p.endScore.Backward(hs[len(hs)-1], []float64{dLogits[len(seq)]})
+	if err != nil {
+		return err
+	}
+	for k, v := range dxEnd {
+		dH[len(seq)-1][k] += v
+	}
+	dxBegin, err := p.beginScore.Backward(hs[0], []float64{dLogits[len(seq)+1]})
+	if err != nil {
+		return err
+	}
+	for k, v := range dxBegin {
+		dH[0][k] += v
+	}
+	return p.enc.Backward(cache, dH)
+}
+
+// Step applies the accumulated gradients.
+func (p *PartitionPolicy) Step() { p.opt.Step() }
+
+// CompressionPolicy is the paper's compression search controller (Fig. 6,
+// lower): a bidirectional LSTM whose per-timestep hidden state feeds a
+// softmax over the technique set, emitting one action per layer.
+type CompressionPolicy struct {
+	enc  *BiLSTM
+	head *Linear
+	opt  *Adam
+	// Actions is the size of the technique action space.
+	Actions int
+}
+
+// NewCompressionPolicy builds the controller with the given action count.
+func NewCompressionPolicy(inDim, hidden, actions int, lr float64, rng *rand.Rand) (*CompressionPolicy, error) {
+	if actions <= 0 {
+		return nil, fmt.Errorf("rl: action count must be positive, got %d", actions)
+	}
+	enc, err := NewBiLSTM(inDim, hidden, rng)
+	if err != nil {
+		return nil, err
+	}
+	head, err := NewLinear(enc.OutDim(), actions, rng)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := NewAdam(lr, append(enc.Params(), head.Params()...))
+	if err != nil {
+		return nil, err
+	}
+	return &CompressionPolicy{enc: enc, head: head, opt: opt, Actions: actions}, nil
+}
+
+// Logits returns per-timestep action logits.
+func (c *CompressionPolicy) Logits(seq [][]float64) ([][]float64, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("rl: compression policy needs a non-empty sequence")
+	}
+	hs, _, err := c.enc.Forward(seq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(seq))
+	for t, h := range hs {
+		y, err := c.head.Forward(h)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = y
+	}
+	return out, nil
+}
+
+// SampleAll draws one action per timestep. masks[t] (length Actions) may
+// exclude techniques inapplicable at layer t; a nil masks slice or nil entry
+// allows everything.
+func (c *CompressionPolicy) SampleAll(seq [][]float64, masks [][]bool, rng *rand.Rand) ([]int, error) {
+	logits, err := c.Logits(seq)
+	if err != nil {
+		return nil, err
+	}
+	actions := make([]int, len(seq))
+	for t := range logits {
+		var mask []bool
+		if masks != nil {
+			mask = masks[t]
+		}
+		a, err := SampleCategorical(logits[t], mask, rng)
+		if err != nil {
+			return nil, err
+		}
+		actions[t] = a
+	}
+	return actions, nil
+}
+
+// Accumulate adds the policy gradient for one episode step: the joint
+// log-probability of the per-layer actions, scaled by the advantage.
+func (c *CompressionPolicy) Accumulate(seq [][]float64, masks [][]bool, actions []int, advantage float64) error {
+	if len(actions) != len(seq) {
+		return fmt.Errorf("rl: %d actions for %d timesteps", len(actions), len(seq))
+	}
+	hs, cache, err := c.enc.Forward(seq)
+	if err != nil {
+		return err
+	}
+	dH := make([][]float64, len(seq))
+	for t, h := range hs {
+		y, err := c.head.Forward(h)
+		if err != nil {
+			return err
+		}
+		var mask []bool
+		if masks != nil {
+			mask = masks[t]
+		}
+		dLogits := PolicyGradLogits(y, mask, actions[t], advantage)
+		dx, err := c.head.Backward(h, dLogits)
+		if err != nil {
+			return err
+		}
+		dH[t] = dx
+	}
+	return c.enc.Backward(cache, dH)
+}
+
+// Step applies the accumulated gradients.
+func (c *CompressionPolicy) Step() { c.opt.Step() }

@@ -1,0 +1,75 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cadmc/internal/tensor"
+)
+
+// Client is the edge side of the offload channel: it holds one persistent
+// connection to the cloud server and ships activations over it. A client
+// serialises its requests (one in flight at a time), matching the
+// per-inference pipeline of the paper; use one client per concurrent stream.
+type Client struct {
+	mu    sync.Mutex
+	codec *codec
+	// Timeout bounds one Offload round trip; zero means no deadline.
+	Timeout time.Duration
+}
+
+// Dial connects to a serving server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serving: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (any net.Conn, e.g. net.Pipe in
+// tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{codec: newCodec(conn)}
+}
+
+// Offload ships the activation produced after layer cut of modelID and
+// returns the logits the cloud computed.
+func (c *Client) Offload(modelID string, cut int, act *tensor.Tensor) ([]float64, error) {
+	if act == nil {
+		return nil, errors.New("serving: nil activation")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Timeout > 0 {
+		if err := c.codec.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return nil, fmt.Errorf("serving: set deadline: %w", err)
+		}
+		defer func() { _ = c.codec.conn.SetDeadline(time.Time{}) }()
+	}
+	req := Request{
+		ModelID:    modelID,
+		Cut:        cut,
+		Shape:      append([]int(nil), act.Shape...),
+		Activation: act.Data,
+	}
+	if err := c.codec.writeRequest(&req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.codec.readResponse(&resp); err != nil {
+		return nil, fmt.Errorf("serving: read response: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("serving: remote: %s", resp.Err)
+	}
+	return resp.Logits, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	return c.codec.conn.Close()
+}

@@ -1,0 +1,100 @@
+// Package serving is the edge-cloud execution substrate: a cloud inference
+// server that completes partitioned DNN inferences, and an edge client that
+// runs a model prefix locally and ships the intermediate activation over a
+// real network connection — the "Sending Features" arrow of the paper's
+// Fig. 2, made executable.
+//
+// The wire protocol is gob-encoded request/response frames over a single
+// persistent TCP (or any net.Conn) connection. One request carries the
+// activation produced after layer `Cut` of a registered model; the response
+// carries the logits the cloud computed by running layers (Cut, end).
+package serving
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"cadmc/internal/tensor"
+)
+
+// Request is one offloaded inference continuation.
+type Request struct {
+	// ModelID names a model registered on the server.
+	ModelID string
+	// Cut is the layer index that produced the activation; the cloud runs
+	// layers Cut+1 onward. Cut == -1 ships the raw input.
+	Cut int
+	// Shape is the activation shape (C, H, W).
+	Shape []int
+	// Activation is the row-major activation data.
+	Activation []float64
+}
+
+// Response carries the completed inference or a server-side error.
+type Response struct {
+	Logits []float64
+	Err    string
+}
+
+// codec wraps a connection with gob encode/decode and a write lock.
+type codec struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+}
+
+func newCodec(conn net.Conn) *codec {
+	return &codec{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}
+}
+
+func (c *codec) writeRequest(r *Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(r); err != nil {
+		return fmt.Errorf("serving: encode request: %w", err)
+	}
+	return nil
+}
+
+func (c *codec) readRequest(r *Request) error {
+	return c.dec.Decode(r)
+}
+
+func (c *codec) writeResponse(r *Response) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(r); err != nil {
+		return fmt.Errorf("serving: encode response: %w", err)
+	}
+	return nil
+}
+
+func (c *codec) readResponse(r *Response) error {
+	return c.dec.Decode(r)
+}
+
+// activationTensor validates and wraps a request's payload.
+func activationTensor(req *Request) (*tensor.Tensor, error) {
+	if len(req.Shape) == 0 {
+		return nil, fmt.Errorf("serving: request without a shape")
+	}
+	elems := 1
+	for _, d := range req.Shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("serving: non-positive dimension in shape %v", req.Shape)
+		}
+		elems *= d
+	}
+	if elems != len(req.Activation) {
+		return nil, fmt.Errorf("serving: shape %v needs %d elements, got %d",
+			req.Shape, elems, len(req.Activation))
+	}
+	return tensor.FromSlice(req.Activation, req.Shape...)
+}

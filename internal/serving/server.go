@@ -1,0 +1,170 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cadmc/internal/nn"
+)
+
+// Server completes partitioned inferences for registered executable models.
+// It is safe for concurrent use; each connection is handled by its own
+// goroutine, and requests on one connection are processed sequentially (the
+// paper's pipeline ships one activation per inference).
+type Server struct {
+	mu     sync.Mutex
+	models map[string]*nn.Net
+	conns  map[net.Conn]struct{}
+	lis    net.Listener
+	closed bool
+	wg     sync.WaitGroup
+	served int64
+	failed int64
+}
+
+// Stats reports how many requests completed successfully and how many were
+// answered with an error since the server started.
+func (s *Server) Stats() (served, failed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served, s.failed
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		models: make(map[string]*nn.Net),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Register makes a model available under id. The net must be executable;
+// requests reference it by id and cut index.
+func (s *Server) Register(id string, net *nn.Net) error {
+	if id == "" || net == nil {
+		return errors.New("serving: register needs an id and a model")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.models[id]; dup {
+		return fmt.Errorf("serving: model %q already registered", id)
+	}
+	s.models[id] = net
+	return nil
+}
+
+// Serve accepts connections on lis until Close is called. It blocks; run it
+// in a goroutine and use Close for shutdown.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("serving: server closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("serving: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	c := newCodec(conn)
+	for {
+		var req Request
+		if err := c.readRequest(&req); err != nil {
+			// EOF and closed-connection errors end the session quietly.
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			_ = c.writeResponse(&Response{Err: "malformed request: " + err.Error()})
+			return
+		}
+		resp := s.complete(&req)
+		s.mu.Lock()
+		if resp.Err == "" {
+			s.served++
+		} else {
+			s.failed++
+		}
+		s.mu.Unlock()
+		if err := c.writeResponse(resp); err != nil {
+			return
+		}
+	}
+}
+
+// complete runs the cloud half of one request.
+func (s *Server) complete(req *Request) *Response {
+	s.mu.Lock()
+	model := s.models[req.ModelID]
+	s.mu.Unlock()
+	if model == nil {
+		return &Response{Err: fmt.Sprintf("unknown model %q", req.ModelID)}
+	}
+	if req.Cut < -1 || req.Cut >= len(model.Model.Layers) {
+		return &Response{Err: fmt.Sprintf("cut %d out of range", req.Cut)}
+	}
+	act, err := activationTensor(req)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	logits, err := model.ForwardFrom(act, req.Cut+1)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	return &Response{Logits: append([]float64(nil), logits.Data...)}
+}

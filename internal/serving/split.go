@@ -1,0 +1,69 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cadmc/internal/nn"
+	"cadmc/internal/tensor"
+)
+
+// SplitExecutor runs partitioned inference for one executable model: the
+// prefix [0, cut] locally, the suffix on the cloud through the client. It is
+// the executable realisation of the candidate deployments the decision
+// engine evaluates analytically.
+type SplitExecutor struct {
+	// Edge holds the local (edge-resident) weights.
+	Edge *nn.Net
+	// ModelID is the identifier the cloud server knows the model by.
+	ModelID string
+	// Client is the offload channel; may be nil if every inference runs
+	// fully on the edge (cut == len(layers)-1).
+	Client *Client
+}
+
+// Infer classifies x with the split at `cut`: cut == len(layers)-1 runs
+// everything locally; cut == -1 ships the raw input. It returns the logits.
+func (e *SplitExecutor) Infer(x *tensor.Tensor, cut int) ([]float64, error) {
+	if e.Edge == nil {
+		return nil, errors.New("serving: split executor without an edge model")
+	}
+	n := len(e.Edge.Model.Layers)
+	if cut < -1 || cut >= n {
+		return nil, fmt.Errorf("serving: cut %d out of range [-1,%d)", cut, n)
+	}
+	act := x
+	if cut >= 0 {
+		var err error
+		act, err = e.Edge.ForwardRange(x, 0, cut+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cut == n-1 {
+		return append([]float64(nil), act.Data...), nil
+	}
+	if e.Client == nil {
+		return nil, errors.New("serving: partitioned inference needs an offload client")
+	}
+	return e.Client.Offload(e.ModelID, cut, act)
+}
+
+// Predict returns the argmax class for x at the given cut.
+func (e *SplitExecutor) Predict(x *tensor.Tensor, cut int) (int, error) {
+	logits, err := e.Infer(x, cut)
+	if err != nil {
+		return 0, err
+	}
+	if len(logits) == 0 {
+		return 0, errors.New("serving: empty logits")
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range logits {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, nil
+}

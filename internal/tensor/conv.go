@@ -1,0 +1,196 @@
+package tensor
+
+import "fmt"
+
+// ConvShape describes a 2-D convolution configuration.
+type ConvShape struct {
+	InC, InH, InW   int
+	OutC, Kernel    int
+	Stride, Padding int
+}
+
+// OutHW returns the output spatial dimensions for the configuration.
+func (c ConvShape) OutHW() (int, int) {
+	outH := (c.InH+2*c.Padding-c.Kernel)/c.Stride + 1
+	outW := (c.InW+2*c.Padding-c.Kernel)/c.Stride + 1
+	return outH, outW
+}
+
+// Im2Col unfolds input (C×H×W) into a matrix of shape
+// (C·K·K) × (outH·outW) so convolution becomes a matrix multiply.
+func Im2Col(input *Tensor, cs ConvShape) (*Tensor, error) {
+	if len(input.Shape) != 3 {
+		return nil, fmt.Errorf("tensor: im2col needs rank-3 input, got %v", input.Shape)
+	}
+	if input.Shape[0] != cs.InC || input.Shape[1] != cs.InH || input.Shape[2] != cs.InW {
+		return nil, fmt.Errorf("tensor: im2col input %v mismatches conv shape %dx%dx%d",
+			input.Shape, cs.InC, cs.InH, cs.InW)
+	}
+	outH, outW := cs.OutHW()
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("tensor: conv output %dx%d is empty (in %dx%d k=%d s=%d p=%d)",
+			outH, outW, cs.InH, cs.InW, cs.Kernel, cs.Stride, cs.Padding)
+	}
+	cols := New(cs.InC*cs.Kernel*cs.Kernel, outH*outW)
+	row := 0
+	for ch := 0; ch < cs.InC; ch++ {
+		chBase := ch * cs.InH * cs.InW
+		for ky := 0; ky < cs.Kernel; ky++ {
+			for kx := 0; kx < cs.Kernel; kx++ {
+				dst := cols.Data[row*outH*outW : (row+1)*outH*outW]
+				i := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*cs.Stride + ky - cs.Padding
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*cs.Stride + kx - cs.Padding
+						if iy >= 0 && iy < cs.InH && ix >= 0 && ix < cs.InW {
+							dst[i] = input.Data[chBase+iy*cs.InW+ix]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols, nil
+}
+
+// Col2Im folds a (C·K·K) × (outH·outW) column matrix back into a C×H×W
+// tensor, accumulating overlaps. It is the adjoint of Im2Col and is used for
+// the convolution input gradient.
+func Col2Im(cols *Tensor, cs ConvShape) (*Tensor, error) {
+	outH, outW := cs.OutHW()
+	want := []int{cs.InC * cs.Kernel * cs.Kernel, outH * outW}
+	if len(cols.Shape) != 2 || cols.Shape[0] != want[0] || cols.Shape[1] != want[1] {
+		return nil, fmt.Errorf("tensor: col2im got %v, want %v", cols.Shape, want)
+	}
+	img := New(cs.InC, cs.InH, cs.InW)
+	row := 0
+	for ch := 0; ch < cs.InC; ch++ {
+		chBase := ch * cs.InH * cs.InW
+		for ky := 0; ky < cs.Kernel; ky++ {
+			for kx := 0; kx < cs.Kernel; kx++ {
+				src := cols.Data[row*outH*outW : (row+1)*outH*outW]
+				i := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*cs.Stride + ky - cs.Padding
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*cs.Stride + kx - cs.Padding
+						if iy >= 0 && iy < cs.InH && ix >= 0 && ix < cs.InW {
+							img.Data[chBase+iy*cs.InW+ix] += src[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return img, nil
+}
+
+// Conv2D applies weights (OutC × InC·K·K) and bias (OutC) to input (C×H×W),
+// returning an OutC×outH×outW tensor. Padding is zero padding.
+func Conv2D(input, weights, bias *Tensor, cs ConvShape) (*Tensor, error) {
+	cols, err := Im2Col(input, cs)
+	if err != nil {
+		return nil, err
+	}
+	if len(weights.Shape) != 2 || weights.Shape[0] != cs.OutC || weights.Shape[1] != cs.InC*cs.Kernel*cs.Kernel {
+		return nil, fmt.Errorf("tensor: conv weights %v, want [%d %d]",
+			weights.Shape, cs.OutC, cs.InC*cs.Kernel*cs.Kernel)
+	}
+	prod, err := MatMul(weights, cols)
+	if err != nil {
+		return nil, err
+	}
+	outH, outW := cs.OutHW()
+	out, err := prod.Reshape(cs.OutC, outH, outW)
+	if err != nil {
+		return nil, err
+	}
+	if bias != nil {
+		if bias.Len() != cs.OutC {
+			return nil, fmt.Errorf("tensor: conv bias len %d, want %d", bias.Len(), cs.OutC)
+		}
+		hw := outH * outW
+		for c := 0; c < cs.OutC; c++ {
+			b := bias.Data[c]
+			seg := out.Data[c*hw : (c+1)*hw]
+			for i := range seg {
+				seg[i] += b
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaxPool2D applies k×k max pooling with the given stride over a C×H×W input.
+// It returns the pooled output and an argmax index tensor (flat input offsets)
+// used by MaxPool2DBackward.
+func MaxPool2D(input *Tensor, k, stride int) (*Tensor, *Tensor, error) {
+	if len(input.Shape) != 3 {
+		return nil, nil, fmt.Errorf("tensor: maxpool needs rank-3 input, got %v", input.Shape)
+	}
+	c, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	outH := (h-k)/stride + 1
+	outW := (w-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, nil, fmt.Errorf("tensor: maxpool output empty for %v k=%d s=%d", input.Shape, k, stride)
+	}
+	out := New(c, outH, outW)
+	arg := New(c, outH, outW)
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				best := input.Data[base+oy*stride*w+ox*stride]
+				bestIdx := base + oy*stride*w + ox*stride
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						idx := base + (oy*stride+ky)*w + (ox*stride + kx)
+						if input.Data[idx] > best {
+							best = input.Data[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := ch*outH*outW + oy*outW + ox
+				out.Data[o] = best
+				arg.Data[o] = float64(bestIdx)
+			}
+		}
+	}
+	return out, arg, nil
+}
+
+// MaxPool2DBackward scatters the output gradient back through the argmax map.
+func MaxPool2DBackward(gradOut, arg *Tensor, inShape []int) (*Tensor, error) {
+	if gradOut.Len() != arg.Len() {
+		return nil, fmt.Errorf("tensor: maxpool backward grad len %d vs arg len %d", gradOut.Len(), arg.Len())
+	}
+	gradIn := New(inShape...)
+	for i, g := range gradOut.Data {
+		gradIn.Data[int(arg.Data[i])] += g
+	}
+	return gradIn, nil
+}
+
+// GlobalAvgPool averages each channel of a C×H×W input to a length-C vector.
+func GlobalAvgPool(input *Tensor) (*Tensor, error) {
+	if len(input.Shape) != 3 {
+		return nil, fmt.Errorf("tensor: global avg pool needs rank-3 input, got %v", input.Shape)
+	}
+	c, h, w := input.Shape[0], input.Shape[1], input.Shape[2]
+	out := New(c)
+	hw := float64(h * w)
+	for ch := 0; ch < c; ch++ {
+		s := 0.0
+		for _, v := range input.Data[ch*h*w : (ch+1)*h*w] {
+			s += v
+		}
+		out.Data[ch] = s / hw
+	}
+	return out, nil
+}

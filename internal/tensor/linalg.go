@@ -1,0 +1,222 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SVDResult holds a rank-k truncated singular value decomposition
+// A ≈ U · diag(S) · Vᵀ with U of shape m×k, S of length k, V of shape n×k.
+type SVDResult struct {
+	U *Tensor
+	S []float64
+	V *Tensor
+}
+
+// TruncatedSVD computes a rank-k SVD of the m×n matrix a using power
+// iteration with deflation. It is the numerical core of the F1 (SVD) and
+// F2 (KSVD) compression techniques: a fully-connected weight matrix is
+// replaced by its best rank-k approximation factored into two thin matrices.
+//
+// iters controls the number of power-iteration sweeps per singular vector;
+// 30 is plenty for the well-separated spectra of trained weight matrices.
+func TruncatedSVD(a *Tensor, k, iters int, rng *rand.Rand) (*SVDResult, error) {
+	if len(a.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: svd needs rank-2 operand, got %v", a.Shape)
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	if k <= 0 || k > m || k > n {
+		return nil, fmt.Errorf("tensor: svd rank %d out of range for %dx%d", k, m, n)
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	work := a.Clone()
+	res := &SVDResult{U: New(m, k), S: make([]float64, k), V: New(n, k)}
+	u := make([]float64, m)
+	v := make([]float64, n)
+	for comp := 0; comp < k; comp++ {
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		normalize(v)
+		sigma := 0.0
+		for it := 0; it < iters; it++ {
+			// u = A v
+			for i := 0; i < m; i++ {
+				row := work.Data[i*n : (i+1)*n]
+				s := 0.0
+				for j, vj := range v {
+					s += row[j] * vj
+				}
+				u[i] = s
+			}
+			sigma = normalize(u)
+			// v = Aᵀ u
+			for j := range v {
+				v[j] = 0
+			}
+			for i := 0; i < m; i++ {
+				ui := u[i]
+				if ui == 0 {
+					continue
+				}
+				row := work.Data[i*n : (i+1)*n]
+				for j := range v {
+					v[j] += row[j] * ui
+				}
+			}
+			normalize(v)
+		}
+		if sigma < 1e-300 {
+			// Remaining spectrum is numerically zero; leave zeros.
+			break
+		}
+		res.S[comp] = sigma
+		for i := 0; i < m; i++ {
+			res.U.Data[i*k+comp] = u[i]
+		}
+		for j := 0; j < n; j++ {
+			res.V.Data[j*k+comp] = v[j]
+		}
+		// Deflate: work -= sigma · u vᵀ.
+		for i := 0; i < m; i++ {
+			ui := u[i] * sigma
+			if ui == 0 {
+				continue
+			}
+			row := work.Data[i*n : (i+1)*n]
+			for j := range v {
+				row[j] -= ui * v[j]
+			}
+		}
+	}
+	return res, nil
+}
+
+// Reconstruct returns U · diag(S) · Vᵀ as an m×n matrix.
+func (r *SVDResult) Reconstruct() (*Tensor, error) {
+	m, k := r.U.Shape[0], r.U.Shape[1]
+	n := r.V.Shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for c := 0; c < k; c++ {
+			uc := r.U.Data[i*k+c] * r.S[c]
+			if uc == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += uc * r.V.Data[j*k+c]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Factors returns the two thin matrices (m×k) and (k×n) whose product equals
+// the reconstruction; the singular values are folded into the first factor.
+// This is exactly the structural replacement of technique F1 in the paper:
+// an m×n weight matrix becomes m×k and k×n matrices with k << min(m, n).
+func (r *SVDResult) Factors() (*Tensor, *Tensor) {
+	m, k := r.U.Shape[0], r.U.Shape[1]
+	n := r.V.Shape[0]
+	left := New(m, k)
+	for i := 0; i < m; i++ {
+		for c := 0; c < k; c++ {
+			left.Data[i*k+c] = r.U.Data[i*k+c] * r.S[c]
+		}
+	}
+	right := New(k, n)
+	for c := 0; c < k; c++ {
+		for j := 0; j < n; j++ {
+			right.Data[c*n+j] = r.V.Data[j*k+c]
+		}
+	}
+	return left, right
+}
+
+// Sparsify zeroes all entries of t whose magnitude is below the q-quantile of
+// absolute values (0 ≤ q ≤ 1), returning the fraction actually zeroed. It is
+// used by the KSVD (F2) variant, which keeps the SVD shapes but with sparse
+// factors.
+func Sparsify(t *Tensor, q float64) float64 {
+	if q <= 0 || t.Len() == 0 {
+		return 0
+	}
+	abs := make([]float64, len(t.Data))
+	for i, v := range t.Data {
+		abs[i] = math.Abs(v)
+	}
+	thr := quantile(abs, q)
+	zeroed := 0
+	for i, v := range t.Data {
+		if math.Abs(v) < thr {
+			t.Data[i] = 0
+			zeroed++
+		}
+	}
+	return float64(zeroed) / float64(len(t.Data))
+}
+
+func normalize(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	n := math.Sqrt(s)
+	if n == 0 {
+		return 0
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return n
+}
+
+// quantile returns the q-quantile of values; it sorts a copy.
+func quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	insertionOrHeapSort(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// insertionOrHeapSort sorts in place without importing sort (kept local so the
+// hot path has no interface boxing); it is a simple bottom-up heapsort.
+func insertionOrHeapSort(a []float64) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		siftDown(a, 0, i)
+	}
+}
+
+func siftDown(a []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTruncatedSVDExactOnLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Build an exactly rank-3 8x6 matrix.
+	u := Randn(rng, 1, 8, 3)
+	v := Randn(rng, 1, 3, 6)
+	a, err := MatMul(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TruncatedSVD(a, 3, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := res.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range a.Data {
+		diff += (a.Data[i] - rec.Data[i]) * (a.Data[i] - rec.Data[i])
+	}
+	if rel := math.Sqrt(diff) / a.Norm(); rel > 1e-6 {
+		t.Fatalf("rank-3 reconstruction relative error %v, want ~0", rel)
+	}
+}
+
+func TestTruncatedSVDSingularValuesOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Randn(rng, 1, 10, 12)
+	res, err := TruncatedSVD(a, 5, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.S); i++ {
+		if res.S[i] > res.S[i-1]+1e-9 {
+			t.Fatalf("singular values not decreasing: %v", res.S)
+		}
+	}
+	for _, s := range res.S {
+		if s < 0 {
+			t.Fatalf("negative singular value: %v", res.S)
+		}
+	}
+}
+
+func TestSVDFactorsProductEqualsReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := Randn(rng, 1, 7, 9)
+	res, err := TruncatedSVD(a, 4, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := res.Factors()
+	if left.Shape[0] != 7 || left.Shape[1] != 4 || right.Shape[0] != 4 || right.Shape[1] != 9 {
+		t.Fatalf("factor shapes %v x %v, want [7 4] x [4 9]", left.Shape, right.Shape)
+	}
+	prod, err := MatMul(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := res.Reconstruct()
+	for i := range prod.Data {
+		if math.Abs(prod.Data[i]-rec.Data[i]) > 1e-9 {
+			t.Fatalf("factors product differs from reconstruction at %d", i)
+		}
+	}
+}
+
+// Property: rank-k SVD error is non-increasing in k.
+func TestSVDErrorMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 5+rng.Intn(4), 5+rng.Intn(4)
+		a := Randn(rng, 1, m, n)
+		prev := math.Inf(1)
+		maxK := m
+		if n < m {
+			maxK = n
+		}
+		for k := 1; k <= maxK; k += 2 {
+			res, err := TruncatedSVD(a, k, 50, rng)
+			if err != nil {
+				return false
+			}
+			rec, err := res.Reconstruct()
+			if err != nil {
+				return false
+			}
+			errNorm := 0.0
+			for i := range a.Data {
+				d := a.Data[i] - rec.Data[i]
+				errNorm += d * d
+			}
+			if errNorm > prev+1e-6 {
+				return false
+			}
+			prev = errNorm
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedSVDErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := TruncatedSVD(New(4), 1, 10, rng); err == nil {
+		t.Fatal("expected rank-2 requirement error")
+	}
+	if _, err := TruncatedSVD(New(3, 3), 0, 10, rng); err == nil {
+		t.Fatal("expected k>0 error")
+	}
+	if _, err := TruncatedSVD(New(3, 3), 4, 10, rng); err == nil {
+		t.Fatal("expected k<=min(m,n) error")
+	}
+}
+
+func TestSparsify(t *testing.T) {
+	vals, _ := FromSlice([]float64{0.1, -0.2, 0.3, -0.4, 0.5, -0.6, 0.7, -0.8, 0.9, -1.0}, 10)
+	frac := Sparsify(vals, 0.5)
+	if math.Abs(frac-0.5) > 0.11 {
+		t.Fatalf("zeroed fraction %v, want ≈0.5", frac)
+	}
+	// Large magnitudes must survive.
+	if vals.Data[9] == 0 || vals.Data[8] == 0 {
+		t.Fatal("sparsify removed the largest entries")
+	}
+	if Sparsify(New(0), 0.5) != 0 {
+		t.Fatal("empty tensor should report 0")
+	}
+	if Sparsify(vals, 0) != 0 {
+		t.Fatal("q=0 should be a no-op")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := quantile(vals, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Fatalf("quantile(nil) = %v, want 0", got)
+	}
+}
+
+func TestHeapSortProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		a := make([]float64, len(xs))
+		copy(a, xs)
+		insertionOrHeapSort(a)
+		for i := 1; i < len(a); i++ {
+			if a[i-1] > a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
