@@ -1,0 +1,22 @@
+# Convenience targets; scripts/check.sh is the canonical gate.
+
+.PHONY: build test race vet check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+	go run ./cmd/cadmc-vet ./...
+
+check:
+	./scripts/check.sh
+
+bench:
+	go test -bench=. -benchmem

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cadmc/internal/analysis"
+)
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestVetRepoClean is the gate's smoke test: the full analyzer suite over
+// every package of the module must report nothing. It exercises exactly
+// what `go run ./cmd/cadmc-vet ./...` runs in scripts/check.sh, so plain
+// `go test ./...` already enforces the repo's own invariants.
+func TestVetRepoClean(t *testing.T) {
+	root := repoRoot(t)
+	paths, err := analysis.Expand(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("pattern expansion found only %d packages: %v", len(paths), paths)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, err := analysis.Run(pkg, analysis.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestExpandPatterns pins the pattern grammar cadmc-vet accepts.
+func TestExpandPatterns(t *testing.T) {
+	root := repoRoot(t)
+	all, err := analysis.Expand(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSome := []string{"cadmc", "cadmc/internal/analysis", "cadmc/internal/serving", "cadmc/cmd/cadmc-vet"}
+	for _, w := range wantSome {
+		found := false
+		for _, p := range all {
+			if p == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("./... expansion misses %s (got %d packages)", w, len(all))
+		}
+	}
+	one, err := analysis.Expand(root, []string{"internal/serving"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != "cadmc/internal/serving" {
+		t.Errorf("plain directory pattern = %v, want [cadmc/internal/serving]", one)
+	}
+	sub, err := analysis.Expand(root, []string{"./internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sub {
+		if !strings.HasPrefix(p, "cadmc/internal/") {
+			t.Errorf("./internal/... expansion leaked %s", p)
+		}
+	}
+	if len(sub) < 5 {
+		t.Errorf("./internal/... found only %d packages", len(sub))
+	}
+}
+
+// TestCheckScript keeps scripts/check.sh — the single verification entry
+// point — present, executable and wired to every gate.
+func TestCheckScript(t *testing.T) {
+	root := repoRoot(t)
+	path := filepath.Join(root, "scripts", "check.sh")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("scripts/check.sh missing: %v", err)
+	}
+	if info.Mode()&0o111 == 0 {
+		t.Error("scripts/check.sh is not executable")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := string(data)
+	for _, gate := range []string{"gofmt -l", "go vet ./...", "go build ./...", "cmd/cadmc-vet", "go test -race ./..."} {
+		if !strings.Contains(script, gate) {
+			t.Errorf("check.sh does not run %q", gate)
+		}
+	}
+}

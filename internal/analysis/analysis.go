@@ -1,0 +1,188 @@
+// Package analysis is a stdlib-only static-analysis framework enforcing the
+// repo's own invariants: deterministic randomness, epsilon-safe float
+// comparisons, no silently dropped errors, tracked goroutines and panic-free
+// library code. It is the engine behind cmd/cadmc-vet and scripts/check.sh.
+//
+// The framework deliberately avoids golang.org/x/tools: packages are parsed
+// with go/parser and type-checked with go/types, stdlib imports resolve
+// through the source importer, and module-internal imports resolve through
+// the Loader in load.go. Analyzers are pluggable values of Analyzer; a
+// finding can be suppressed at a specific site with a
+//
+//	//cadmc:allow <analyzer>
+//
+// comment on the flagged line or the line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way cmd/cadmc-vet prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one pluggable invariant check.
+type Analyzer struct {
+	// Name is the identifier used in output and in //cadmc:allow comments.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects the package in pass and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package's import path (e.g. cadmc/internal/nn).
+	Path string
+
+	allows map[allowKey]bool
+	diags  *[]Diagnostic
+}
+
+// allowKey identifies one suppressed (file line, analyzer) site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// IsCommand reports whether the package is an executable (package main):
+// cmd/ binaries and examples. Most analyzers only guard library code.
+func (p *Pass) IsCommand() bool {
+	return p.Pkg != nil && p.Pkg.Name() == "main"
+}
+
+// IsInternal reports whether the package lives under internal/.
+func (p *Pass) IsInternal() bool {
+	return strings.Contains("/"+p.Path+"/", "/internal/")
+}
+
+// Reportf records a finding at pos unless a //cadmc:allow comment for this
+// analyzer covers the line (same line or the line directly above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if p.allows[allowKey{position.Filename, line, p.Analyzer.Name}] {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowPrefix introduces a suppression comment: //cadmc:allow <analyzer>.
+const allowPrefix = "cadmc:allow"
+
+// collectAllows scans file comments for suppression directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	allows := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Fields(rest) {
+					allows[allowKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SeededRand,
+		FloatEq,
+		DroppedErr,
+		NakedGo,
+		PanicFree,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection; empty selects all.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a := byName[name]
+		if a == nil {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies every analyzer in suite to the loaded package and returns the
+// findings sorted by position.
+func Run(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			allows:   allows,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

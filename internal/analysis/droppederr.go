@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags statements in internal/ packages that call a function
+// returning an error and throw the whole result away. Explicit discards
+// (`_ = conn.Close()`) stay legal — they record intent — as do writes to
+// infallible writers (strings.Builder, bytes.Buffer and the hash.Hash
+// family), whose Write methods are documented never to fail.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "internal packages must not silently discard error returns",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) error {
+	if !pass.IsInternal() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || isInfallibleWrite(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s carries an error that is silently dropped; handle it or discard explicitly with _ =",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.Info.Types[call].Type
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error" && types.IsInterface(t)
+}
+
+// isInfallibleWrite recognises writes that cannot fail: fmt.Fprint* into a
+// *strings.Builder, *bytes.Buffer or hash.Hash, and Write* methods called
+// directly on those types.
+func isInfallibleWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Fprint / Fprintf / Fprintln with an infallible first argument.
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := pass.Info.Uses[ident].(*types.PkgName); ok {
+			if pkg.Imported().Path() == "fmt" && len(call.Args) > 0 {
+				switch sel.Sel.Name {
+				case "Fprint", "Fprintf", "Fprintln":
+					return isInfallibleWriter(pass.Info.Types[call.Args[0]].Type)
+				}
+			}
+			return false
+		}
+	}
+	// Methods on the infallible writers themselves (WriteString, WriteByte…).
+	if selection := pass.Info.Selections[sel]; selection != nil {
+		return isInfallibleWriter(selection.Recv())
+	}
+	return false
+}
+
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer",
+		// hash.Hash embeds io.Writer with the documented guarantee that
+		// Write never returns an error.
+		"hash.Hash", "hash.Hash32", "hash.Hash64":
+		return true
+	}
+	return false
+}

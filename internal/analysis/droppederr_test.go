@@ -1,0 +1,72 @@
+package analysis
+
+import "testing"
+
+func TestDroppedErrFlagsSilentDiscards(t *testing.T) {
+	const src = `package fx
+
+import "os"
+
+func write(f *os.File, data []byte) {
+	f.Write(data)
+	f.Close()
+}
+
+func fail() error { return nil }
+
+func run() {
+	fail()
+}
+`
+	checkAnalyzer(t, DroppedErr, "cadmc/internal/fx", src, []want{
+		{line: 6, message: "f.Write"},
+		{line: 7, message: "f.Close"},
+		{line: 13, message: "fail"},
+	})
+}
+
+func TestDroppedErrAllowsExplicitDiscardAndInfallibleWrites(t *testing.T) {
+	const src = `package fx
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	b.WriteString("tail")
+	var buf bytes.Buffer
+	buf.WriteByte('!')
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", 2)
+	return b.String()
+}
+
+func explicit(f *os.File) {
+	_ = f.Close()
+}
+
+func void() {}
+
+func run() {
+	void()
+	fmt.Println("stdout writes are not internal plumbing") //cadmc:allow droppederr
+}
+`
+	checkAnalyzer(t, DroppedErr, "cadmc/internal/fx", src, nil)
+}
+
+func TestDroppedErrOnlyGuardsInternalPackages(t *testing.T) {
+	const src = `package fx
+
+func fail() error { return nil }
+
+func run() { fail() }
+`
+	checkAnalyzer(t, DroppedErr, "cadmc/fx", src, nil)
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point expressions in library
+// code. Reward, accuracy and latency math is float-heavy, and exact
+// comparison on computed floats is almost always a rounding bug waiting to
+// happen. Allowed without a suppression comment:
+//
+//   - x != x / x == x (the idiomatic NaN probe);
+//   - comparison against a constant zero: exact zero is the one float value
+//     that is both representable and meaningful to test (division guards,
+//     sparsity skips), and IEEE 754 defines the comparison exactly;
+//   - comparisons inside approved epsilon helpers — functions whose name
+//     contains "almost", "approx", "close" or "eps" — which exist precisely
+//     to centralise tolerant comparison.
+//
+// Sites where bit-exactness is the point (e.g. matching a stored sentinel)
+// carry a //cadmc:allow floateq comment.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= between floats outside approved epsilon helpers",
+	Run:  runFloatEq,
+}
+
+// epsilonHelperMarkers approve a function to compare floats exactly; such
+// helpers implement the tolerance the rest of the code relies on.
+var epsilonHelperMarkers = []string{"almost", "approx", "close", "eps"}
+
+func isEpsilonHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, marker := range epsilonHelperMarkers {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func runFloatEq(pass *Pass) error {
+	if pass.IsCommand() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			host := ""
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				host = fn.Name.Name
+			}
+			if isEpsilonHelper(host) {
+				continue
+			}
+			checkFloatComparisons(pass, decl)
+		}
+	}
+	return nil
+}
+
+func checkFloatComparisons(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		cmp, ok := n.(*ast.BinaryExpr)
+		if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass.Info.Types[cmp.X].Type) && !isFloat(pass.Info.Types[cmp.Y].Type) {
+			return true
+		}
+		if types.ExprString(cmp.X) == types.ExprString(cmp.Y) {
+			return true // NaN probe: x != x
+		}
+		if isConstZero(pass, cmp.X) || isConstZero(pass, cmp.Y) {
+			return true
+		}
+		pass.Reportf(cmp.OpPos,
+			"float comparison %s %s %s; use an epsilon helper or //cadmc:allow floateq if exactness is intended",
+			types.ExprString(cmp.X), cmp.Op, types.ExprString(cmp.Y))
+		return true
+	})
+}
+
+// isConstZero reports whether the expression is a compile-time constant
+// equal to zero.
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

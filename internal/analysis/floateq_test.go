@@ -1,0 +1,70 @@
+package analysis
+
+import "testing"
+
+func TestFloatEqFlagsComputedComparisons(t *testing.T) {
+	const src = `package fx
+
+func same(a, b float64) bool {
+	return a == b
+}
+
+func mixed(xs []float64, target float64) int {
+	for i, x := range xs {
+		if x != target {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+func promoted(a float32, b float64) bool {
+	return float64(a) == b
+}
+`
+	checkAnalyzer(t, FloatEq, "cadmc/internal/fx", src, []want{
+		{line: 4, message: "float comparison a == b"},
+		{line: 9, message: "float comparison x != target"},
+		{line: 18, message: "float comparison float64(a) == b"},
+	})
+}
+
+func TestFloatEqAllowsSanctionedPatterns(t *testing.T) {
+	const src = `package fx
+
+import "math"
+
+// almostEqual is an approved epsilon helper: exact comparison inside it is
+// the point.
+func almostEqual(a, b float64) bool {
+	return a == b || math.Abs(a-b) < 1e-9
+}
+
+func isNaN(x float64) bool { return x != x }
+
+func guard(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+func sentinel(x float64) bool {
+	return x == -1 //cadmc:allow floateq
+}
+
+func ints(a, b int) bool { return a == b }
+`
+	checkAnalyzer(t, FloatEq, "cadmc/internal/fx", src, nil)
+}
+
+func TestFloatEqIgnoresCommands(t *testing.T) {
+	const src = `package main
+
+func eq(a, b float64) bool { return a == b }
+
+func main() {}
+`
+	checkAnalyzer(t, FloatEq, "cadmc/cmd/fx", src, nil)
+}

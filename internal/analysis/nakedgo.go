@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NakedGo flags goroutine launches in library code with no visible lifetime
+// tracking. The serving and report layers launch real goroutines; every one
+// must be joinable, or Close/Wait cannot drain and the emulator leaks. A
+// launch counts as tracked when the spawned work (the go statement's call,
+// its arguments, or its function-literal body) references a sync.WaitGroup
+// or signals on a channel (send, close or receive). Anything else —
+// including `go fn()` where the body is out of view — is flagged; a
+// reviewed fire-and-forget site can carry //cadmc:allow nakedgo.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "library goroutines must be tracked by a WaitGroup or done-channel",
+	Run:  runNakedGo,
+}
+
+func runNakedGo(pass *Pass) error {
+	if pass.IsCommand() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goStmtTracked(pass, g) {
+				pass.Reportf(g.Pos(), "goroutine has no WaitGroup or done-channel tracking; its lifetime is unjoinable")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goStmtTracked scans the spawned call for lifetime-tracking evidence.
+func goStmtTracked(pass *Pass, g *ast.GoStmt) bool {
+	tracked := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			tracked = true
+		case *ast.UnaryExpr:
+			// Channel receive: blocking on a done/limit channel.
+			if ch := pass.Info.Types[node.X].Type; node.Op.String() == "<-" && isChan(ch) {
+				tracked = true
+			}
+		case *ast.CallExpr:
+			if ident, ok := node.Fun.(*ast.Ident); ok && ident.Name == "close" {
+				if _, builtin := pass.Info.Uses[ident].(*types.Builtin); builtin {
+					tracked = true
+				}
+			}
+		case ast.Expr:
+			if isWaitGroup(pass.Info.Types[node].Type) {
+				tracked = true
+			}
+		}
+		return !tracked
+	})
+	return tracked
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

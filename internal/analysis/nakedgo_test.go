@@ -1,0 +1,72 @@
+package analysis
+
+import "testing"
+
+func TestNakedGoFlagsUntrackedLaunches(t *testing.T) {
+	const src = `package fx
+
+func work() {}
+
+func launch() {
+	go work()
+	go func() {
+		work()
+	}()
+}
+`
+	checkAnalyzer(t, NakedGo, "cadmc/internal/fx", src, []want{
+		{line: 6, message: "no WaitGroup or done-channel tracking"},
+		{line: 7, message: "no WaitGroup or done-channel tracking"},
+	})
+}
+
+func TestNakedGoAcceptsTrackedLaunches(t *testing.T) {
+	const src = `package fx
+
+import "sync"
+
+func work() {}
+
+func waitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func doneChannel() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+func sendOnChannel() <-chan int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+	}()
+	return out
+}
+
+func reviewed() {
+	go work() //cadmc:allow nakedgo
+}
+`
+	checkAnalyzer(t, NakedGo, "cadmc/internal/fx", src, nil)
+}
+
+func TestNakedGoIgnoresCommands(t *testing.T) {
+	const src = `package main
+
+func work() {}
+
+func main() { go work() }
+`
+	checkAnalyzer(t, NakedGo, "cadmc/cmd/fx", src, nil)
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import "testing"
+
+func TestPanicFreeFlagsLibraryPanics(t *testing.T) {
+	const src = `package fx
+
+import "fmt"
+
+func f(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("negative %d", x))
+	}
+	return x
+}
+`
+	checkAnalyzer(t, PanicFree, "cadmc/internal/fx", src, []want{
+		{line: 7, message: "panic in library code"},
+	})
+}
+
+func TestPanicFreeAllowsAllowlistedGuardsAndShadowing(t *testing.T) {
+	const src = `package fx
+
+func guard(x int) {
+	if x < 0 {
+		// Invariant guard, reviewed: negative x is a caller bug.
+		panic("negative") //cadmc:allow panicfree
+	}
+}
+
+// A local function named panic is not the builtin.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}
+`
+	checkAnalyzer(t, PanicFree, "cadmc/internal/fx", src, nil)
+}
+
+func TestPanicFreeIgnoresCommands(t *testing.T) {
+	const src = `package main
+
+func main() { panic("commands may crash") }
+`
+	checkAnalyzer(t, PanicFree, "cadmc/cmd/fx", src, nil)
+}

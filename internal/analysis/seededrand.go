@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randTopLevel lists the math/rand package-level functions that draw from
+// the shared global source. Constructors (New, NewSource, NewZipf) are fine:
+// they are exactly how injected generators get built.
+var randTopLevel = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// SeededRand enforces the determinism invariant the RL search, the trace
+// generator and the emulator depend on: library code must never draw from
+// math/rand's global source — all randomness flows through an injected,
+// seeded *rand.Rand.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "library code must use an injected *rand.Rand, never global math/rand functions",
+	Run:  runSeededRand,
+}
+
+func runSeededRand(pass *Pass) error {
+	if pass.IsCommand() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if (path == "math/rand" || path == "math/rand/v2") && randTopLevel[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"call to global %s.%s breaks determinism; draw from an injected seeded *rand.Rand",
+					path, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

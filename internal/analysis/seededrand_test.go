@@ -1,0 +1,64 @@
+package analysis
+
+import "testing"
+
+func TestSeededRandFlagsGlobalSource(t *testing.T) {
+	const src = `package fx
+
+import "math/rand"
+
+func roll() int {
+	return rand.Intn(6)
+}
+
+func noisy() float64 {
+	rand.Shuffle(3, func(i, j int) {})
+	return rand.Float64()
+}
+`
+	checkAnalyzer(t, SeededRand, "cadmc/internal/fx", src, []want{
+		{line: 6, message: "math/rand.Intn"},
+		{line: 10, message: "math/rand.Shuffle"},
+		{line: 11, message: "math/rand.Float64"},
+	})
+}
+
+func TestSeededRandCleanOnInjectedRand(t *testing.T) {
+	// Constructors are legal (they build injected generators) and drawing
+	// from a *rand.Rand is the sanctioned pattern.
+	const src = `package fx
+
+import "math/rand"
+
+func build(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func roll(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+`
+	checkAnalyzer(t, SeededRand, "cadmc/internal/fx", src, nil)
+}
+
+func TestSeededRandSeesThroughImportAlias(t *testing.T) {
+	const src = `package fx
+
+import mrand "math/rand"
+
+func roll() float64 { return mrand.Float64() }
+`
+	checkAnalyzer(t, SeededRand, "cadmc/internal/fx", src, []want{
+		{line: 5, message: "math/rand.Float64"},
+	})
+}
+
+func TestSeededRandIgnoresCommands(t *testing.T) {
+	const src = `package main
+
+import "math/rand"
+
+func main() { _ = rand.Intn(6) }
+`
+	checkAnalyzer(t, SeededRand, "cadmc/cmd/fx", src, nil)
+}

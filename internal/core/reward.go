@@ -5,7 +5,10 @@
 // tree at inference time in response to measured bandwidth (Alg. 2).
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // RewardConfig is the Eq. 7 reward: R = W_lat·N2(T) + W_acc·N1(A), with
 // min-max normalisation of both metrics. The paper's evaluation sets the
@@ -42,6 +45,14 @@ func (c RewardConfig) Validate() error {
 
 // Max returns the maximum attainable reward (AccWeight + LatWeight).
 func (c RewardConfig) Max() float64 { return c.AccWeight + c.LatWeight }
+
+// rewardEqTol bounds the rounding drift two computations of the same reward
+// can accumulate; rewards are O(100), so 1e-9 leaves ulp-scale headroom.
+const rewardEqTol = 1e-9
+
+// almostEqual reports whether two reward values coincide up to rounding
+// noise. Tie detection uses it instead of bit-exact float comparison.
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= rewardEqTol }
 
 // Reward maps an (accuracy %, latency ms) pair to the scalar reward.
 // Values outside the normalisation ranges are clamped, so an outage

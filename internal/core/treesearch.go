@@ -167,7 +167,7 @@ func OptimalTree(p *Problem, cfg TreeConfig) (*TreeResult, error) {
 		// lucky branch. Ties (e.g. with backward averaging ablated) fall
 		// back to the best single-branch reward.
 		if res.Tree == nil || tree.Root.Reward > res.Tree.Root.Reward ||
-			(tree.Root.Reward == res.Tree.Root.Reward && bestR > chosenBranchReward) {
+			(almostEqual(tree.Root.Reward, res.Tree.Root.Reward) && bestR > chosenBranchReward) {
 			res.Tree = tree
 			chosenBranchReward = bestR
 		}

@@ -1,0 +1,198 @@
+package rl
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testControllers(t *testing.T, seed int64) (*PartitionPolicy, *CompressionPolicy) {
+	t.Helper()
+	p, err := NewPartitionPolicy(5, 6, 0.01, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompressionPolicy(4, 5, 3, 0.01, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, c
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	p, c := testControllers(t, 70)
+	path := filepath.Join(t.TempDir(), "ctrl.json")
+	if err := SaveCheckpoint(path, p, c); err != nil {
+		t.Fatal(err)
+	}
+
+	pSeq := [][]float64{{1, 0, 0.5, -1, 0.2}, {0, 1, 0.3, 0.4, -0.2}}
+	cSeq := [][]float64{{0.1, 0.2, 0.3, 0.4}}
+	wantP, err := p.Logits(pSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, err := c.Logits(cSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into controllers born from different seeds: every parameter
+	// must come from the file, none from the constructor.
+	p2, c2 := testControllers(t, 900)
+	if err := LoadCheckpoint(path, p2, c2); err != nil {
+		t.Fatal(err)
+	}
+	gotP, err := p2.Logits(pSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantP {
+		if gotP[i] != wantP[i] {
+			t.Fatalf("partition logit %d: %v vs %v — restore must be exact", i, gotP[i], wantP[i])
+		}
+	}
+	gotC, err := c2.Logits(cSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantC[0] {
+		if gotC[0][i] != wantC[0][i] {
+			t.Fatalf("compression logit %d differs after restore", i)
+		}
+	}
+}
+
+func TestCheckpointTruncatedFileErrors(t *testing.T) {
+	p, c := testControllers(t, 71)
+	path := filepath.Join(t.TempDir(), "ctrl.json")
+	if err := SaveCheckpoint(path, p, c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file at several depths: inside the envelope, inside a blocks
+	// array, just before the final brace. Every truncation must surface as
+	// an error — never a panic, never a silent partial restore.
+	for _, keep := range []int{0, 1, len(data) / 4, len(data) / 2, len(data) - 2} {
+		trunc := filepath.Join(t.TempDir(), "trunc.json")
+		if err := os.WriteFile(trunc, data[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p2, c2 := testControllers(t, 72)
+		if err := LoadCheckpoint(trunc, p2, c2); err == nil {
+			t.Fatalf("truncation to %d bytes loaded without error", keep)
+		}
+	}
+}
+
+func TestCheckpointCorruptedFileErrors(t *testing.T) {
+	p, c := testControllers(t, 73)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ctrl.json")
+	if err := SaveCheckpoint(path, p, c); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"garbage":           []byte("not json at all"),
+		"wrong shape":       []byte(`{"partition": 42, "compression": []}`),
+		"empty sections":    []byte(`{}`),
+		"null blocks":       []byte(`{"partition":{"kind":"partition","dims":[5,6],"blocks":null},"compression":{"kind":"compression","dims":[4,5,3],"blocks":null}}`),
+		"swapped sections":  swapSections(t, good),
+		"mangled midstream": append(append([]byte{}, good[:len(good)/2]...), []byte("}}}junk{{{")...),
+	}
+	for name, data := range cases {
+		bad := filepath.Join(dir, strings.ReplaceAll(name, " ", "_"))
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p2, c2 := testControllers(t, 74)
+		if err := LoadCheckpoint(bad, p2, c2); err == nil {
+			t.Errorf("%s: corrupted checkpoint loaded without error", name)
+		}
+	}
+}
+
+// swapSections exchanges the partition and compression payloads so each
+// lands in a controller of the wrong kind.
+func swapSections(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var cf struct {
+		Partition   json.RawMessage `json:"partition"`
+		Compression json.RawMessage `json:"compression"`
+	}
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatal(err)
+	}
+	cf.Partition, cf.Compression = cf.Compression, cf.Partition
+	out, err := json.Marshal(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCheckpointDimensionMismatchErrors(t *testing.T) {
+	p, c := testControllers(t, 75)
+	path := filepath.Join(t.TempDir(), "ctrl.json")
+	if err := SaveCheckpoint(path, p, c); err != nil {
+		t.Fatal(err)
+	}
+	// A controller with different dimensions must refuse the restore.
+	pBig, err := NewPartitionPolicy(7, 8, 0.01, rand.New(rand.NewSource(76)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cSame := testControllers(t, 77)
+	if err := LoadCheckpoint(path, pBig, cSame); err == nil {
+		t.Fatal("dimension mismatch loaded without error")
+	}
+}
+
+func TestCheckpointMissingFileAndNilControllers(t *testing.T) {
+	p, c := testControllers(t, 78)
+	if err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.json"), p, c); err == nil {
+		t.Fatal("missing file loaded without error")
+	}
+	path := filepath.Join(t.TempDir(), "ctrl.json")
+	if err := SaveCheckpoint(path, nil, c); err == nil {
+		t.Fatal("nil partition controller saved without error")
+	}
+	if err := LoadCheckpoint(path, p, nil); err == nil {
+		t.Fatal("nil compression controller loaded without error")
+	}
+}
+
+func TestCheckpointSaveIsAtomic(t *testing.T) {
+	p, c := testControllers(t, 79)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ctrl.json")
+	if err := SaveCheckpoint(path, p, c); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with new weights; the directory must never contain a
+	// lingering temp file afterwards.
+	if err := SaveCheckpoint(path, p, c); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ctrl.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("checkpoint dir holds %v, want only ctrl.json", names)
+	}
+}

@@ -3,6 +3,8 @@ package rl
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 )
 
 // policyState is the serialised form of a controller's parameter blocks.
@@ -73,6 +75,83 @@ func (c *CompressionPolicy) MarshalJSON() ([]byte, error) {
 		Dims:   []int{c.enc.Fwd.In, c.enc.Fwd.H, c.Actions},
 		Blocks: collectParams(append(c.enc.Params(), c.head.Params()...)),
 	})
+}
+
+// checkpointFile is the on-disk envelope bundling both controllers of one
+// trained scenario.
+type checkpointFile struct {
+	Partition   json.RawMessage `json:"partition"`
+	Compression json.RawMessage `json:"compression"`
+}
+
+// SaveCheckpoint writes both controllers' weights to path as JSON. The
+// write is atomic (temp file + rename), so a crash mid-save never leaves a
+// truncated checkpoint behind — LoadCheckpoint either sees the old file or
+// the new one.
+func SaveCheckpoint(path string, p *PartitionPolicy, c *CompressionPolicy) error {
+	if p == nil || c == nil {
+		return fmt.Errorf("rl: checkpoint needs both controllers")
+	}
+	pData, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("rl: encode partition policy: %w", err)
+	}
+	cData, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("rl: encode compression policy: %w", err)
+	}
+	data, err := json.Marshal(checkpointFile{Partition: pData, Compression: cData})
+	if err != nil {
+		return fmt.Errorf("rl: encode checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("rl: create checkpoint temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("rl: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("rl: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("rl: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores both controllers from a file written by
+// SaveCheckpoint. The controllers must be pre-constructed with the same
+// dimensions as the saved ones (build them with NewPartitionPolicy /
+// NewCompressionPolicy first); corrupted, truncated or mismatched files
+// return errors and leave the controllers' parameters untouched only up to
+// the first failing block — callers should discard them on error.
+func LoadCheckpoint(path string, p *PartitionPolicy, c *CompressionPolicy) error {
+	if p == nil || c == nil {
+		return fmt.Errorf("rl: checkpoint needs both controllers")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("rl: read checkpoint: %w", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return fmt.Errorf("rl: decode checkpoint %s: %w", path, err)
+	}
+	if len(cf.Partition) == 0 || len(cf.Compression) == 0 {
+		return fmt.Errorf("rl: checkpoint %s misses a controller section", path)
+	}
+	if err := json.Unmarshal(cf.Partition, p); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(cf.Compression, c); err != nil {
+		return err
+	}
+	return nil
 }
 
 // UnmarshalJSON restores weights into an already-constructed controller with

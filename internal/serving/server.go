@@ -84,8 +84,12 @@ func (s *Server) Serve(lis net.Listener) error {
 			return nil
 		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
+		// The Add must happen under the same critical section that checks
+		// closed: if it moved after Unlock, a concurrent Close could pass
+		// wg.Wait before this handler is counted and return while the
+		// handler still runs.
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)

@@ -30,7 +30,9 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			// A negative dimension is a programming error on par with a
+			// negative make() length, not a recoverable condition.
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape)) //cadmc:allow panicfree
 		}
 		n *= d
 	}
@@ -98,14 +100,17 @@ func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
 // Set assigns the element at the given multi-index.
 func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
 
+// offset panics on rank or range violations — a bad multi-index is the
+// tensor-level analogue of an out-of-range slice index and carries the same
+// blame: the caller's code, not its inputs.
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.Shape) {
-		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.Shape)))
+		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.Shape))) //cadmc:allow panicfree
 	}
 	off := 0
 	for i, x := range idx {
 		if x < 0 || x >= t.Shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape)) //cadmc:allow panicfree
 		}
 		off = off*t.Shape[i] + x
 	}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# check.sh — the repo's single verification gate. Runs formatting, go vet,
+# the build, the custom cadmc-vet analyzer suite (internal/analysis) and the
+# full test suite under the race detector. Every gate must pass; the first
+# failure stops the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== cadmc-vet ./...  (seededrand floateq droppederr nakedgo panicfree)"
+go run ./cmd/cadmc-vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "all checks passed"
