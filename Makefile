@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet check chaos bench
 
 build:
 	go build ./...
@@ -17,6 +17,12 @@ vet:
 
 check:
 	./scripts/check.sh
+
+# Fault-injection suite, run twice to prove the chaos schedules are
+# deterministic (same seeds, same routes) and race-free.
+chaos:
+	go test -race -count=2 ./internal/faultnet
+	go test -race -count=2 -run 'Resilient|Breaker|Live|Client|Split|Server' ./internal/serving ./internal/emulator
 
 bench:
 	go test -bench=. -benchmem

@@ -1,34 +1,127 @@
 // Command emulate trains one (or all) of the paper's evaluation scenarios
 // and replays it against the three deployment policies in emulation or field
-// mode, printing Table IV / Table V style rows.
+// mode, printing Table IV / Table V style rows. Live mode instead ships real
+// gob frames over a loopback socket wrapped in scenario-derived chaos and
+// reports how the resilient offload channel degraded and recovered.
 //
 // Usage:
 //
 //	emulate -mode emulation                       # all 14 scenarios
 //	emulate -mode field -model AlexNet -scenario "WiFi (weak) indoor"
+//	emulate -mode live -scenario "WiFi (weak) indoor" -inferences 60
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"cadmc/internal/emulator"
+	"cadmc/internal/faultnet"
+	"cadmc/internal/network"
+	"cadmc/internal/nn"
+	"cadmc/internal/serving"
+	"cadmc/internal/tensor"
 )
 
 func main() {
-	mode := flag.String("mode", "emulation", "replay mode: emulation or field")
+	mode := flag.String("mode", "emulation", "replay mode: emulation, field, or live")
 	model := flag.String("model", "", "restrict to one base model (VGG11 or AlexNet)")
 	device := flag.String("device", "", "restrict to one device (Phone or TX2)")
 	scenario := flag.String("scenario", "", "restrict to one network scenario")
 	quick := flag.Bool("quick", false, "use reduced training budgets")
 	seed := flag.Int64("seed", 1, "random seed")
+	inferences := flag.Int("inferences", 60, "live mode: number of inferences to replay")
 	flag.Parse()
 
-	if err := run(*mode, *model, *device, *scenario, *quick, *seed); err != nil {
+	var err error
+	if *mode == "live" {
+		err = runLive(*scenario, *seed, *inferences)
+	} else {
+		err = run(*mode, *model, *device, *scenario, *quick, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "emulate:", err)
 		os.Exit(1)
 	}
+}
+
+// runLive replays a fault-injected offload session for one scenario and
+// prints the per-inference route timeline plus the channel counters.
+func runLive(scenarioName string, seed int64, inferences int) error {
+	if scenarioName == "" {
+		scenarioName = "WiFi (weak) indoor"
+	}
+	if inferences <= 0 {
+		return fmt.Errorf("live mode needs a positive inference count")
+	}
+	sc, err := network.ByName(scenarioName)
+	if err != nil {
+		return err
+	}
+	const stepMS = 100
+	spec := faultnet.FromScenario(sc, seed, float64(inferences)*stepMS)
+
+	rng := rand.New(rand.NewSource(seed))
+	m := &nn.Model{
+		Name:    "live-cnn",
+		Input:   nn.Shape{C: 3, H: 16, W: 16},
+		Classes: 10,
+		Layers: []nn.Layer{
+			nn.NewConv(3, 8, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewConv(8, 16, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewFlatten(),
+			nn.NewFC(16*4*4, 32),
+			nn.NewReLU(),
+			nn.NewFC(32, 10),
+		},
+	}
+	net, err := nn.NewNet(m, rng)
+	if err != nil {
+		return err
+	}
+	inputs := make([]*tensor.Tensor, 8)
+	for i := range inputs {
+		inputs[i] = tensor.Randn(rng, 1, 3, 16, 16)
+	}
+	res, err := emulator.RunLive(net, inputs, emulator.LiveOptions{
+		Inferences: inferences,
+		StepMS:     stepMS,
+		Cut:        2,
+		Spec:       spec,
+		Resilience: serving.DefaultResilientOptions(),
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("live replay: %s, %d inferences at %dms steps, %d outage windows\n",
+		scenarioName, inferences, stepMS, len(spec.Outages))
+	for _, w := range spec.Outages {
+		fmt.Printf("  outage %.0f..%.0f ms\n", w.StartMS, w.EndMS)
+	}
+	timeline := make([]byte, len(res.Routes))
+	for i, r := range res.Routes {
+		switch r {
+		case serving.RouteOffloaded:
+			timeline[i] = 'O'
+		case serving.RouteFallback:
+			timeline[i] = 'e'
+		default:
+			timeline[i] = '.'
+		}
+	}
+	fmt.Printf("routes (O=offloaded, e=edge fallback): %s\n", timeline)
+	fmt.Printf("completed %d/%d | offloaded %d | edge fallbacks %d\n",
+		res.Stats.Inferences, inferences, res.Stats.Offloaded, res.Stats.Fallbacks)
+	fmt.Printf("channel: %d retries, %d redials, %d breaker opens, final circuit %s\n",
+		res.Channel.Retries, res.Channel.Redials, res.Channel.BreakerOpens, res.FinalBreaker)
+	return nil
 }
 
 func run(modeName, model, device, scenario string, quick bool, seed int64) error {
@@ -39,7 +132,7 @@ func run(modeName, model, device, scenario string, quick bool, seed int64) error
 	case "field":
 		mode = emulator.ModeField
 	default:
-		return fmt.Errorf("unknown mode %q (want emulation or field)", modeName)
+		return fmt.Errorf("unknown mode %q (want emulation, field, or live)", modeName)
 	}
 	opts := emulator.DefaultTrainOptions()
 	if quick {

@@ -9,6 +9,11 @@
 // split results are bit-identical to local inference, and the adaptive cut
 // changes as the emulated network fades and recovers.
 //
+// The offload channel itself is the hardened one: a ResilientClient with
+// retry, redial and a circuit breaker rides over a fault-injected connection
+// that suffers a scheduled outage mid-stream, and the executor degrades to
+// edge-only inference instead of dropping frames.
+//
 // Run with:
 //
 //	go run ./examples/edgecloud-serving
@@ -20,8 +25,10 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"time"
 
 	"cadmc/internal/dataset"
+	"cadmc/internal/faultnet"
 	"cadmc/internal/latency"
 	"cadmc/internal/network"
 	"cadmc/internal/nn"
@@ -84,11 +91,42 @@ func run() error {
 	go func() { serveDone <- srv.Serve(lis) }()
 	fmt.Printf("cloud server listening on %s\n", lis.Addr())
 
-	client, err := serving.Dial(lis.Addr().String())
+	// The edge side dials through a chaos wrapper: a scheduled outage window
+	// takes the link down across frames 9 and 10 of the stream below — frames
+	// where the bandwidth has recovered and the adaptive policy wants to
+	// offload, so the failure actually bites. The virtual clock advances with
+	// the frame timeline, making the fault schedule deterministic run to run.
+	clock := faultnet.NewManualClock()
+	spec := faultnet.Spec{
+		Seed:    1,
+		Outages: []faultnet.Window{{StartMS: 8_000, EndMS: 9_500}},
+	}
+	addr := lis.Addr().String()
+	dialSeq := int64(0)
+	// The breaker cooldown and backoff run on the same virtual clock as the
+	// outage schedule, so the recovery point is deterministic.
+	res := serving.DefaultResilientOptions()
+	res.Now = clock.Now
+	res.Sleep = func(time.Duration) {}
+	client, err := serving.NewResilientClient(func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		s := spec
+		s.Seed += dialSeq * 7919
+		dialSeq++
+		return faultnet.Wrap(conn, s, clock), nil
+	}, res)
 	if err != nil {
 		return err
 	}
-	exec := &serving.SplitExecutor{Edge: net1, ModelID: "edgecnn", Client: client}
+	exec := &serving.SplitExecutor{
+		Edge:          net1,
+		ModelID:       "edgecnn",
+		Client:        client,
+		FallbackLocal: true,
+	}
 
 	// 3. Verify the split results match local inference exactly at every cut.
 	cuts, err := model.CutPoints()
@@ -141,21 +179,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("frame  bandwidth   chosen cut   est.latency   predicted  label")
+	fmt.Println("frame  bandwidth   chosen cut   est.latency   route         predicted  label")
 	correct := 0
 	const frames = 12
 	for f := 0; f < frames; f++ {
 		tMS := float64(f) * 900
+		clock.Set(time.Duration(tMS * float64(time.Millisecond)))
 		w := trace.At(tMS)
 		cut, estMS, err := bestCut(model, est, allCuts, w)
 		if err != nil {
 			return err
 		}
 		sample := set.Test[f%len(set.Test)]
-		pred, err := exec.Predict(sample.Image, cut)
+		logits, route, err := exec.InferRoute(sample.Image, cut)
 		if err != nil {
 			return err
 		}
+		pred := argmax(logits)
 		if pred == sample.Label {
 			correct++
 		}
@@ -165,9 +205,14 @@ func run() error {
 		} else if cut == len(model.Layers)-1 {
 			where = "all edge"
 		}
-		fmt.Printf("%5d %8.2fMbps  %-11s %9.2fms   %9d  %5d\n", f, w, where, estMS, pred, sample.Label)
+		fmt.Printf("%5d %8.2fMbps  %-11s %9.2fms   %-13s %9d  %5d\n",
+			f, w, where, estMS, route, pred, sample.Label)
 	}
 	fmt.Printf("\nstream accuracy over %d frames: %d/%d\n", frames, correct, frames)
+	st := exec.Stats()
+	ch := client.Stats()
+	fmt.Printf("resilience: %d offloaded, %d edge fallbacks during the outage; channel saw %d retries, %d redials, %d breaker opens (circuit now %s)\n",
+		st.Offloaded, st.Fallbacks, ch.Retries, ch.Redials, ch.BreakerOpens, client.BreakerState())
 
 	if err := client.Close(); err != nil {
 		return err
@@ -176,6 +221,17 @@ func run() error {
 		return err
 	}
 	return <-serveDone
+}
+
+// argmax returns the index of the largest logit.
+func argmax(logits []float64) int {
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 // bestCut returns the latency-model-optimal cut among the candidates.

@@ -61,6 +61,42 @@ func run() {
 	checkAnalyzer(t, DroppedErr, "cadmc/internal/fx", src, nil)
 }
 
+// Retry loops are where dropped errors hide best: the happy path retries
+// past them and nothing visibly breaks. Closing a poisoned connection before
+// a redial returns an error too — it must be discarded explicitly (`_ =`) or
+// carry an allow pragma, never dropped bare.
+func TestDroppedErrFlagsRetryLoopDiscards(t *testing.T) {
+	const src = `package fx
+
+import "net"
+
+func dial() (net.Conn, error) { return nil, nil }
+
+func redialLoop(stale []net.Conn) {
+	for _, c := range stale {
+		c.Close()
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := dial(); err == nil {
+			return
+		}
+	}
+}
+
+func redialLoopExplicit(stale []net.Conn) {
+	for _, c := range stale {
+		_ = c.Close()
+	}
+	for _, c := range stale {
+		c.Close() //cadmc:allow droppederr
+	}
+}
+`
+	checkAnalyzer(t, DroppedErr, "cadmc/internal/fx", src, []want{
+		{line: 9, message: "c.Close"},
+	})
+}
+
 func TestDroppedErrOnlyGuardsInternalPackages(t *testing.T) {
 	const src = `package fx
 

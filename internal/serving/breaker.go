@@ -1,0 +1,143 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+// Breaker states. Closed passes traffic; Open rejects it outright; HalfOpen
+// admits a single probe after the cooldown to test whether the cloud healed.
+const (
+	BreakerClosed BreakerState = iota + 1
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker for the offload channel:
+// after Threshold transport failures in a row it opens and rejects requests
+// without touching the network (the edge stops hammering a dead cloud and
+// serves locally); after Cooldown on the injected clock it half-opens and
+// admits one probe, closing on success and re-opening on failure.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Duration
+	state     BreakerState
+	fails     int
+	openedAt  time.Duration
+	probing   bool
+	opens     int64
+}
+
+// NewBreaker builds a breaker. threshold ≤ 0 trips on the first failure; a
+// nil now uses real monotonic time.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if now == nil {
+		start := time.Now()
+		now = func() time.Duration { return time.Since(start) }
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       now,
+		state:     BreakerClosed,
+	}
+}
+
+// Allow reports whether a request may proceed. In the half-open state only
+// one probe is admitted until its outcome is reported.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now()-b.openedAt < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// Success reports a completed round trip: the breaker closes and the failure
+// streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure reports a transport failure. It returns true when this failure
+// tripped the breaker open.
+func (b *Breaker) Failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.opens++
+		return true
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.opens++
+			return true
+		}
+	}
+	return false
+}
+
+// State returns the current position, resolving an elapsed cooldown to
+// half-open the way Allow would.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now()-b.openedAt >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

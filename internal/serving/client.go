@@ -10,13 +10,23 @@ import (
 	"cadmc/internal/tensor"
 )
 
+// ErrClientBroken marks a client whose gob stream was poisoned by an earlier
+// transport error. A gob decoder that failed mid-frame (deadline, partial
+// read, reset) is desynchronized: the next Decode would silently consume a
+// stale or half-written frame and return another request's data. The client
+// therefore refuses every call after the first transport error; dial a new
+// client (or use ResilientClient, which redials automatically).
+var ErrClientBroken = errors.New("serving: client broken by a previous transport error")
+
 // Client is the edge side of the offload channel: it holds one persistent
 // connection to the cloud server and ships activations over it. A client
 // serialises its requests (one in flight at a time), matching the
 // per-inference pipeline of the paper; use one client per concurrent stream.
 type Client struct {
-	mu    sync.Mutex
-	codec *codec
+	mu     sync.Mutex
+	codec  *codec
+	broken bool
+	nextID uint64
 	// Timeout bounds one Offload round trip; zero means no deadline.
 	Timeout time.Duration
 }
@@ -36,40 +46,76 @@ func NewClient(conn net.Conn) *Client {
 	return &Client{codec: newCodec(conn)}
 }
 
+// offloadRequest builds the wire frame for one logical offload.
+func offloadRequest(id uint64, modelID string, cut int, shape []int, data []float64) *Request {
+	return &Request{
+		ID:         id,
+		ModelID:    modelID,
+		Cut:        cut,
+		Shape:      append([]int(nil), shape...),
+		Activation: data,
+	}
+}
+
 // Offload ships the activation produced after layer cut of modelID and
-// returns the logits the cloud computed.
+// returns the logits the cloud computed. After any transport error —
+// deadline, partial read, reset, or a response answering a different
+// request — the client is poisoned and every subsequent call returns
+// ErrClientBroken.
 func (c *Client) Offload(modelID string, cut int, act *tensor.Tensor) ([]float64, error) {
 	if act == nil {
 		return nil, errors.New("serving: nil activation")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return nil, ErrClientBroken
+	}
 	if c.Timeout > 0 {
 		if err := c.codec.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			c.broken = true
 			return nil, fmt.Errorf("serving: set deadline: %w", err)
 		}
-		defer func() { _ = c.codec.conn.SetDeadline(time.Time{}) }()
+		defer func() {
+			if !c.broken {
+				_ = c.codec.conn.SetDeadline(time.Time{})
+			}
+		}()
 	}
-	req := Request{
-		ModelID:    modelID,
-		Cut:        cut,
-		Shape:      append([]int(nil), act.Shape...),
-		Activation: act.Data,
-	}
-	if err := c.codec.writeRequest(&req); err != nil {
+	c.nextID++
+	req := offloadRequest(c.nextID, modelID, cut, act.Shape, act.Data)
+	if err := c.codec.writeRequest(req); err != nil {
+		c.broken = true
 		return nil, err
 	}
 	var resp Response
 	if err := c.codec.readResponse(&resp); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("serving: read response: %w", err)
 	}
+	if resp.ID != 0 && resp.ID != req.ID {
+		c.broken = true
+		return nil, fmt.Errorf("serving: response answers request %d, want %d: stream desynchronized", resp.ID, req.ID)
+	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("serving: remote: %s", resp.Err)
+		// The round trip worked; the request itself was rejected. The
+		// stream stays in sync and the client stays usable.
+		return nil, &RemoteError{Msg: resp.Err}
 	}
 	return resp.Logits, nil
 }
 
+// Broken reports whether the client was poisoned by a transport error.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
 // Close releases the connection.
 func (c *Client) Close() error {
+	c.mu.Lock()
+	c.broken = true
+	c.mu.Unlock()
 	return c.codec.conn.Close()
 }

@@ -8,11 +8,20 @@
 // persistent TCP (or any net.Conn) connection. One request carries the
 // activation produced after layer `Cut` of a registered model; the response
 // carries the logits the cloud computed by running layers (Cut, end).
+//
+// The channel is designed to survive the paper's Fig. 1 networks: requests
+// carry idempotent IDs echoed by the server, the plain Client poisons its
+// codec after any transport error (a desynchronized gob stream is never
+// reused), and ResilientClient layers redial, backoff, bounded retries and a
+// circuit breaker on top. SplitExecutor degrades to edge-only inference —
+// the paper's bandwidth-collapse branch — when the channel is unavailable.
 package serving
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -21,6 +30,12 @@ import (
 
 // Request is one offloaded inference continuation.
 type Request struct {
+	// ID identifies the logical request; the server echoes it in the
+	// response. Retried attempts of one inference reuse the same ID (the
+	// cloud half is pure, so replays are idempotent), and a mismatched echo
+	// exposes a desynchronized stream instead of silently returning another
+	// request's logits.
+	ID uint64
 	// ModelID names a model registered on the server.
 	ModelID string
 	// Cut is the layer index that produced the activation; the cloud runs
@@ -34,8 +49,52 @@ type Request struct {
 
 // Response carries the completed inference or a server-side error.
 type Response struct {
+	// ID echoes the request ID this response answers.
+	ID     uint64
 	Logits []float64
 	Err    string
+}
+
+// RemoteError is an application-level error the server answered with. The
+// transport round trip succeeded; the request itself was rejected (unknown
+// model, bad cut, shape mismatch). Remote errors are never retried and never
+// poison the connection.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "serving: remote: " + e.Msg }
+
+// DefaultMaxPayloadElems bounds the activation element count a server
+// accepts per request (16Mi float64 elements = 128 MiB) unless overridden
+// by Server.MaxPayloadElems.
+const DefaultMaxPayloadElems = 1 << 24
+
+// errPayloadTooLarge aborts a gob decode whose frame exceeds the
+// per-request byte budget.
+var errPayloadTooLarge = errors.New("serving: request frame exceeds the payload limit")
+
+// byteLimitedReader meters a connection's reads against a per-frame budget
+// so one malicious or corrupt length prefix cannot force the server to
+// buffer an unbounded frame. The budget is reset before each request.
+type byteLimitedReader struct {
+	r         io.Reader
+	limit     int64
+	remaining int64
+}
+
+func (b *byteLimitedReader) reset() { b.remaining = b.limit }
+
+func (b *byteLimitedReader) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, errPayloadTooLarge
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.r.Read(p)
+	b.remaining -= int64(n)
+	return n, err
 }
 
 // codec wraps a connection with gob encode/decode and a write lock.
@@ -43,7 +102,10 @@ type codec struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
-	mu   sync.Mutex
+	// lim, when non-nil, meters each readRequest against a byte budget
+	// (server side only).
+	lim *byteLimitedReader
+	mu  sync.Mutex
 }
 
 func newCodec(conn net.Conn) *codec {
@@ -51,6 +113,18 @@ func newCodec(conn net.Conn) *codec {
 		conn: conn,
 		enc:  gob.NewEncoder(conn),
 		dec:  gob.NewDecoder(conn),
+	}
+}
+
+// newLimitedCodec builds the server-side codec: request reads are metered
+// against limitBytes per frame.
+func newLimitedCodec(conn net.Conn, limitBytes int64) *codec {
+	lim := &byteLimitedReader{r: conn, limit: limitBytes}
+	return &codec{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(lim),
+		lim:  lim,
 	}
 }
 
@@ -64,6 +138,9 @@ func (c *codec) writeRequest(r *Request) error {
 }
 
 func (c *codec) readRequest(r *Request) error {
+	if c.lim != nil {
+		c.lim.reset()
+	}
 	return c.dec.Decode(r)
 }
 
@@ -80,8 +157,14 @@ func (c *codec) readResponse(r *Response) error {
 	return c.dec.Decode(r)
 }
 
-// activationTensor validates and wraps a request's payload.
-func activationTensor(req *Request) (*tensor.Tensor, error) {
+// activationTensor validates and wraps a request's payload. The shape
+// product is computed overflow-safely against maxElems: because every
+// partial product is kept ≤ maxElems (which is far below MaxInt), a crafted
+// shape can neither overflow int nor force a huge allocation.
+func activationTensor(req *Request, maxElems int) (*tensor.Tensor, error) {
+	if maxElems <= 0 {
+		maxElems = DefaultMaxPayloadElems
+	}
 	if len(req.Shape) == 0 {
 		return nil, fmt.Errorf("serving: request without a shape")
 	}
@@ -89,6 +172,10 @@ func activationTensor(req *Request) (*tensor.Tensor, error) {
 	for _, d := range req.Shape {
 		if d <= 0 {
 			return nil, fmt.Errorf("serving: non-positive dimension in shape %v", req.Shape)
+		}
+		if elems > maxElems/d {
+			return nil, fmt.Errorf("serving: shape %v exceeds the %d-element payload limit",
+				req.Shape, maxElems)
 		}
 		elems *= d
 	}

@@ -1,0 +1,297 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"cadmc/internal/tensor"
+)
+
+// Sentinel errors for the resilient offload path. SplitExecutor treats both
+// as "channel unavailable" and degrades to edge-only inference.
+var (
+	// ErrCircuitOpen rejects a request without touching the network because
+	// the circuit breaker is open.
+	ErrCircuitOpen = errors.New("serving: offload circuit open")
+	// ErrUnavailable reports that every bounded retry of a request failed at
+	// the transport layer.
+	ErrUnavailable = errors.New("serving: offload channel unavailable")
+)
+
+// ResilientOptions tunes the retry, backoff and circuit-breaker behaviour.
+// The zero value of any field falls back to the default below.
+type ResilientOptions struct {
+	// Timeout bounds one attempt's round trip; zero means no deadline.
+	Timeout time.Duration
+	// MaxAttempts is the total number of tries per Offload (default 3).
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts (defaults 20ms and 1s); the realised wait is jittered
+	// uniformly in [d/2, d) to desynchronise a fleet of edge clients.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold consecutive transport failures open the circuit
+	// (default 4); BreakerCooldown later it half-opens for one probe
+	// (default 500ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Seed drives the backoff jitter (default 1).
+	Seed int64
+	// Now is the clock the breaker cooldown reads; nil uses real monotonic
+	// time. Tests and the live emulator inject a manual clock here.
+	Now func() time.Duration
+	// Sleep waits between attempts; nil uses time.Sleep. The live emulator
+	// injects a no-op to keep virtual time exact.
+	Sleep func(time.Duration)
+}
+
+// DefaultResilientOptions returns the production tuning.
+func DefaultResilientOptions() ResilientOptions {
+	return ResilientOptions{
+		Timeout:          2 * time.Second,
+		MaxAttempts:      3,
+		BackoffBase:      20 * time.Millisecond,
+		BackoffMax:       time.Second,
+		BreakerThreshold: 4,
+		BreakerCooldown:  500 * time.Millisecond,
+		Seed:             1,
+	}
+}
+
+func (o ResilientOptions) withDefaults() ResilientOptions {
+	def := DefaultResilientOptions()
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = def.MaxAttempts
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = def.BackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = def.BackoffMax
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = def.BreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = def.BreakerCooldown
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// ResilientStats counts what the channel went through.
+type ResilientStats struct {
+	// Offloads is the number of successful round trips.
+	Offloads int64
+	// Retries counts attempts beyond the first of their request.
+	Retries int64
+	// Redials counts connection (re-)establishments.
+	Redials int64
+	// RemoteErrors counts application-level rejections by the server.
+	RemoteErrors int64
+	// BreakerOpens counts circuit-breaker trips.
+	BreakerOpens int64
+}
+
+// ResilientClient is the hardened edge side of the offload channel: it
+// redials automatically with exponential backoff and jitter, poisons and
+// replaces its codec after any transport error (a desynchronized gob stream
+// is never reused), bounds retries per request with idempotent request IDs,
+// and trips a circuit breaker that stops hammering a dead cloud. Like
+// Client it serialises requests: one in flight at a time.
+type ResilientClient struct {
+	opts ResilientOptions
+
+	mu      sync.Mutex
+	dial    func() (net.Conn, error)
+	codec   *codec
+	broken  bool
+	closed  bool
+	nextID  uint64
+	rng     *rand.Rand
+	breaker *Breaker
+	stats   ResilientStats
+}
+
+// NewResilientClient builds a client over a dial function; the connection is
+// established lazily on the first Offload, so construction never fails.
+func NewResilientClient(dial func() (net.Conn, error), opts ResilientOptions) (*ResilientClient, error) {
+	if dial == nil {
+		return nil, errors.New("serving: resilient client needs a dial function")
+	}
+	opts = opts.withDefaults()
+	return &ResilientClient{
+		opts:    opts,
+		dial:    dial,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		breaker: NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Now),
+	}, nil
+}
+
+// DialResilient builds a resilient client that (re-)dials addr over TCP.
+func DialResilient(addr string, opts ResilientOptions) (*ResilientClient, error) {
+	return NewResilientClient(func() (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	}, opts)
+}
+
+// Offload ships the activation produced after layer cut of modelID and
+// returns the cloud's logits, retrying transport failures up to MaxAttempts
+// times with a fresh connection each time. It returns ErrCircuitOpen
+// without touching the network while the breaker is open, ErrUnavailable
+// when the retry budget is exhausted, and a *RemoteError (never retried)
+// when the server rejected the request itself.
+func (c *ResilientClient) Offload(modelID string, cut int, act *tensor.Tensor) ([]float64, error) {
+	if act == nil {
+		return nil, errors.New("serving: nil activation")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("serving: resilient client closed")
+	}
+	c.nextID++
+	req := offloadRequest(c.nextID, modelID, cut, act.Shape, act.Data)
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+			c.opts.Sleep(c.backoff(attempt))
+		}
+		if !c.breaker.Allow() {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last transport error: %v)", ErrCircuitOpen, lastErr)
+			}
+			return nil, ErrCircuitOpen
+		}
+		logits, err := c.attempt(req)
+		if err == nil {
+			c.breaker.Success()
+			c.stats.Offloads++
+			return logits, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			// The transport round trip worked; the request was bad. Counts
+			// for the breaker as a success and is not worth retrying.
+			c.breaker.Success()
+			c.stats.RemoteErrors++
+			return nil, err
+		}
+		if c.breaker.Failure() {
+			c.stats.BreakerOpens++
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: %d attempts failed: %v", ErrUnavailable, c.opts.MaxAttempts, lastErr)
+}
+
+// attempt performs one round trip, redialing first if the previous codec was
+// poisoned. Callers hold c.mu.
+func (c *ResilientClient) attempt(req *Request) ([]float64, error) {
+	if err := c.ensure(); err != nil {
+		return nil, err
+	}
+	cd := c.codec
+	if c.opts.Timeout > 0 {
+		if err := cd.conn.SetDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
+			c.poison()
+			return nil, fmt.Errorf("serving: set deadline: %w", err)
+		}
+	}
+	if err := cd.writeRequest(req); err != nil {
+		c.poison()
+		return nil, err
+	}
+	var resp Response
+	if err := cd.readResponse(&resp); err != nil {
+		c.poison()
+		return nil, fmt.Errorf("serving: read response: %w", err)
+	}
+	if c.opts.Timeout > 0 {
+		_ = cd.conn.SetDeadline(time.Time{})
+	}
+	if resp.ID != 0 && resp.ID != req.ID {
+		c.poison()
+		return nil, fmt.Errorf("serving: response answers request %d, want %d: stream desynchronized", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	return resp.Logits, nil
+}
+
+// ensure establishes a fresh connection when there is none or the previous
+// one was poisoned. Callers hold c.mu.
+func (c *ResilientClient) ensure() error {
+	if c.codec != nil && !c.broken {
+		return nil
+	}
+	if c.codec != nil {
+		_ = c.codec.conn.Close()
+		c.codec = nil
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return fmt.Errorf("serving: redial: %w", err)
+	}
+	c.codec = newCodec(conn)
+	c.broken = false
+	c.stats.Redials++
+	return nil
+}
+
+// poison marks the current codec unusable and closes its connection; the
+// next attempt redials. Callers hold c.mu.
+func (c *ResilientClient) poison() {
+	c.broken = true
+	if c.codec != nil {
+		_ = c.codec.conn.Close()
+	}
+}
+
+// backoff returns the jittered exponential wait before the given attempt
+// (attempt ≥ 1).
+func (c *ResilientClient) backoff(attempt int) time.Duration {
+	d := float64(c.opts.BackoffBase) * math.Pow(2, float64(attempt-1))
+	if maxD := float64(c.opts.BackoffMax); d > maxD {
+		d = maxD
+	}
+	return time.Duration(d/2 + d/2*c.rng.Float64())
+}
+
+// Stats returns a snapshot of the channel counters.
+func (c *ResilientClient) Stats() ResilientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// BreakerState exposes the circuit position (for stats and tests).
+func (c *ResilientClient) BreakerState() BreakerState {
+	return c.breaker.State()
+}
+
+// Close releases the current connection, if any, and makes every further
+// Offload fail fast.
+func (c *ResilientClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.codec == nil {
+		return nil
+	}
+	err := c.codec.conn.Close()
+	c.codec = nil
+	return err
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"cadmc/internal/nn"
 )
@@ -14,7 +15,21 @@ import (
 // It is safe for concurrent use; each connection is handled by its own
 // goroutine, and requests on one connection are processed sequentially (the
 // paper's pipeline ships one activation per inference).
+//
+// Two guards keep dead or malicious clients from exhausting the server: an
+// idle/read deadline per connection (IdleTimeout) so abandoned sockets
+// cannot pin handler goroutines, and a per-request payload cap
+// (MaxPayloadElems, enforced both on decoded bytes and on the shape
+// product) so a crafted frame cannot force an unbounded allocation.
 type Server struct {
+	// IdleTimeout bounds how long a connection may sit between requests and
+	// how long one request frame may take to arrive; zero means no limit.
+	// Set before Serve.
+	IdleTimeout time.Duration
+	// MaxPayloadElems caps the activation element count per request; zero
+	// means DefaultMaxPayloadElems. Set before Serve.
+	MaxPayloadElems int
+
 	mu     sync.Mutex
 	models map[string]*nn.Net
 	conns  map[net.Conn]struct{}
@@ -54,6 +69,14 @@ func (s *Server) Register(id string, net *nn.Net) error {
 	}
 	s.models[id] = net
 	return nil
+}
+
+// maxElems resolves the payload cap.
+func (s *Server) maxElems() int {
+	if s.MaxPayloadElems > 0 {
+		return s.MaxPayloadElems
+	}
+	return DefaultMaxPayloadElems
 }
 
 // Serve accepts connections on lis until Close is called. It blocks; run it
@@ -126,18 +149,27 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	c := newCodec(conn)
+	// Budget the decoder's reads: the element cap in float64 bytes plus
+	// slack for the envelope (IDs, shape, gob framing).
+	c := newLimitedCodec(conn, int64(s.maxElems())*8+4096)
 	for {
+		if s.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		var req Request
 		if err := c.readRequest(&req); err != nil {
-			// EOF and closed-connection errors end the session quietly.
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			// EOF, closed-connection errors and expired idle deadlines end
+			// the session quietly: there is nobody worth answering.
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || isTimeout(err) {
 				return
 			}
 			_ = c.writeResponse(&Response{Err: "malformed request: " + err.Error()})
 			return
 		}
 		resp := s.complete(&req)
+		resp.ID = req.ID
 		s.mu.Lock()
 		if resp.Err == "" {
 			s.served++
@@ -145,10 +177,21 @@ func (s *Server) handle(conn net.Conn) {
 			s.failed++
 		}
 		s.mu.Unlock()
+		if s.IdleTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		if err := c.writeResponse(resp); err != nil {
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // complete runs the cloud half of one request.
@@ -162,7 +205,7 @@ func (s *Server) complete(req *Request) *Response {
 	if req.Cut < -1 || req.Cut >= len(model.Model.Layers) {
 		return &Response{Err: fmt.Sprintf("cut %d out of range", req.Cut)}
 	}
-	act, err := activationTensor(req)
+	act, err := activationTensor(req, s.maxElems())
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}

@@ -309,12 +309,12 @@ func TestActivationValidation(t *testing.T) {
 		{ModelID: "m", Shape: []int{2, 2}, Activation: []float64{1, 2, 3}},
 	}
 	for i, req := range cases {
-		if _, err := activationTensor(&req); err == nil {
+		if _, err := activationTensor(&req, DefaultMaxPayloadElems); err == nil {
 			t.Fatalf("case %d: expected validation error", i)
 		}
 	}
 	ok := Request{Shape: []int{2, 2}, Activation: []float64{1, 2, 3, 4}}
-	tt, err := activationTensor(&ok)
+	tt, err := activationTensor(&ok, DefaultMaxPayloadElems)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,15 +4,62 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"cadmc/internal/nn"
 	"cadmc/internal/tensor"
 )
 
+// Offloader is the offload channel SplitExecutor speaks to: both Client and
+// ResilientClient implement it.
+type Offloader interface {
+	Offload(modelID string, cut int, act *tensor.Tensor) ([]float64, error)
+}
+
+// Route records where one inference was completed.
+type Route int
+
+// Routes. RouteEdgeOnly was planned edge-resident (cut == n-1);
+// RouteOffloaded completed on the cloud; RouteFallback was planned
+// partitioned but fell back to edge-only because the channel was
+// unavailable — the paper's bandwidth-collapse branch taken at runtime.
+const (
+	RouteEdgeOnly Route = iota + 1
+	RouteOffloaded
+	RouteFallback
+)
+
+// String renders the route name.
+func (r Route) String() string {
+	switch r {
+	case RouteEdgeOnly:
+		return "edge-only"
+	case RouteOffloaded:
+		return "offloaded"
+	case RouteFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("Route(%d)", int(r))
+	}
+}
+
+// SplitStats aggregates per-request outcomes of a SplitExecutor.
+type SplitStats struct {
+	// Inferences is the total completed without error.
+	Inferences int64
+	// EdgeOnly, Offloaded and Fallbacks partition Inferences by route.
+	EdgeOnly  int64
+	Offloaded int64
+	Fallbacks int64
+}
+
 // SplitExecutor runs partitioned inference for one executable model: the
 // prefix [0, cut] locally, the suffix on the cloud through the client. It is
 // the executable realisation of the candidate deployments the decision
-// engine evaluates analytically.
+// engine evaluates analytically. With FallbackLocal set it degrades
+// gracefully: when the offload channel is open-circuited, broken, or a
+// request exhausts its retries, the suffix runs on the edge too and the
+// inference still completes.
 type SplitExecutor struct {
 	// Edge holds the local (edge-resident) weights.
 	Edge *nn.Net
@@ -20,34 +67,99 @@ type SplitExecutor struct {
 	ModelID string
 	// Client is the offload channel; may be nil if every inference runs
 	// fully on the edge (cut == len(layers)-1).
-	Client *Client
+	Client Offloader
+	// FallbackLocal completes partitioned inferences on the edge when the
+	// channel is unavailable instead of failing them.
+	FallbackLocal bool
+
+	mu    sync.Mutex
+	stats SplitStats
+}
+
+// Stats returns a snapshot of the per-request route counters.
+func (e *SplitExecutor) Stats() SplitStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *SplitExecutor) record(r Route) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Inferences++
+	switch r {
+	case RouteEdgeOnly:
+		e.stats.EdgeOnly++
+	case RouteOffloaded:
+		e.stats.Offloaded++
+	case RouteFallback:
+		e.stats.Fallbacks++
+	}
+}
+
+// offloadUnavailable classifies errors that mean "the channel cannot serve
+// this request", as opposed to the request itself being invalid.
+func offloadUnavailable(err error) bool {
+	return errors.Is(err, ErrUnavailable) ||
+		errors.Is(err, ErrCircuitOpen) ||
+		errors.Is(err, ErrClientBroken)
 }
 
 // Infer classifies x with the split at `cut`: cut == len(layers)-1 runs
 // everything locally; cut == -1 ships the raw input. It returns the logits.
 func (e *SplitExecutor) Infer(x *tensor.Tensor, cut int) ([]float64, error) {
+	logits, _, err := e.InferRoute(x, cut)
+	return logits, err
+}
+
+// InferRoute is Infer plus the route the inference actually took.
+func (e *SplitExecutor) InferRoute(x *tensor.Tensor, cut int) ([]float64, Route, error) {
 	if e.Edge == nil {
-		return nil, errors.New("serving: split executor without an edge model")
+		return nil, 0, errors.New("serving: split executor without an edge model")
 	}
 	n := len(e.Edge.Model.Layers)
 	if cut < -1 || cut >= n {
-		return nil, fmt.Errorf("serving: cut %d out of range [-1,%d)", cut, n)
+		return nil, 0, fmt.Errorf("serving: cut %d out of range [-1,%d)", cut, n)
 	}
 	act := x
 	if cut >= 0 {
 		var err error
 		act, err = e.Edge.ForwardRange(x, 0, cut+1)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	if cut == n-1 {
-		return append([]float64(nil), act.Data...), nil
+		e.record(RouteEdgeOnly)
+		return append([]float64(nil), act.Data...), RouteEdgeOnly, nil
 	}
 	if e.Client == nil {
-		return nil, errors.New("serving: partitioned inference needs an offload client")
+		if e.FallbackLocal {
+			return e.fallback(act, cut, errors.New("serving: no offload client"))
+		}
+		return nil, 0, errors.New("serving: partitioned inference needs an offload client")
 	}
-	return e.Client.Offload(e.ModelID, cut, act)
+	logits, err := e.Client.Offload(e.ModelID, cut, act)
+	if err == nil {
+		e.record(RouteOffloaded)
+		return logits, RouteOffloaded, nil
+	}
+	if e.FallbackLocal && offloadUnavailable(err) {
+		return e.fallback(act, cut, err)
+	}
+	return nil, 0, err
+}
+
+// fallback completes the suffix on the edge — the cut = n-1 branch the paper
+// reserves for collapsed bandwidth — reusing the activation already computed
+// for the offload attempt.
+func (e *SplitExecutor) fallback(act *tensor.Tensor, cut int, cause error) ([]float64, Route, error) {
+	out, err := e.Edge.ForwardFrom(act, cut+1)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serving: edge fallback (after %v): %w", cause, err)
+	}
+	e.record(RouteFallback)
+	return append([]float64(nil), out.Data...), RouteFallback, nil
 }
 
 // Predict returns the argmax class for x at the given cut.

@@ -26,4 +26,9 @@ go run ./cmd/cadmc-vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== chaos suite (-count=2: fault schedules must replay identically)"
+go test -race -count=2 ./internal/faultnet
+go test -race -count=2 -run 'Resilient|Breaker|Live|Client|Split|Server' \
+    ./internal/serving ./internal/emulator
+
 echo "all checks passed"
