@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet check chaos bench
+.PHONY: build test race vet check chaos bench bench-gateway
 
 build:
 	go build ./...
@@ -26,3 +26,9 @@ chaos:
 
 bench:
 	go test -bench=. -benchmem
+
+# Gateway throughput benchmark: batched multi-worker serving vs the
+# sequential single-executor baseline, over a latency-injected loopback
+# offload channel. Writes BENCH_gateway.json.
+bench-gateway:
+	go run ./cmd/loadgen -requests 128 -workers 8 -batch 8 -latency-ms 5 -out BENCH_gateway.json

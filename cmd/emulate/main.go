@@ -9,6 +9,7 @@
 //	emulate -mode emulation                       # all 14 scenarios
 //	emulate -mode field -model AlexNet -scenario "WiFi (weak) indoor"
 //	emulate -mode live -scenario "WiFi (weak) indoor" -inferences 60
+//	emulate -mode gateway -sessions 64            # multi-session gateway replay
 package main
 
 import (
@@ -33,12 +34,16 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced training budgets")
 	seed := flag.Int64("seed", 1, "random seed")
 	inferences := flag.Int("inferences", 60, "live mode: number of inferences to replay")
+	sessions := flag.Int("sessions", 64, "gateway mode: number of concurrent sessions")
 	flag.Parse()
 
 	var err error
-	if *mode == "live" {
+	switch *mode {
+	case "live":
 		err = runLive(*scenario, *seed, *inferences)
-	} else {
+	case "gateway":
+		err = runGateway(*seed, *sessions)
+	default:
 		err = run(*mode, *model, *device, *scenario, *quick, *seed)
 	}
 	if err != nil {
@@ -117,10 +122,39 @@ func runLive(scenarioName string, seed int64, inferences int) error {
 		}
 	}
 	fmt.Printf("routes (O=offloaded, e=edge fallback): %s\n", timeline)
-	fmt.Printf("completed %d/%d | offloaded %d | edge fallbacks %d\n",
-		res.Stats.Inferences, inferences, res.Stats.Offloaded, res.Stats.Fallbacks)
+	fmt.Printf("executor: %s\n", res.Stats)
 	fmt.Printf("channel: %d retries, %d redials, %d breaker opens, final circuit %s\n",
 		res.Channel.Retries, res.Channel.Redials, res.Channel.BreakerOpens, res.FinalBreaker)
+	return nil
+}
+
+// runGateway replays the multi-session gateway workload: many sessions,
+// adaptive micro-batching, and hot-swaps between model-tree variants driven
+// by a scripted bandwidth schedule.
+func runGateway(seed int64, sessions int) error {
+	if sessions <= 0 {
+		return fmt.Errorf("gateway mode needs a positive session count")
+	}
+	res, err := emulator.RunGateway(emulator.GatewayOptions{
+		Sessions:      sessions,
+		Seed:          seed,
+		StraddleSwaps: true,
+	})
+	if err != nil {
+		return err
+	}
+	rep := res.Report
+	fmt.Printf("gateway replay: %d sessions, %d phases at %v Mbps, %d hot-swaps\n",
+		res.Options.Sessions, len(res.Options.PhaseMbps), res.Options.PhaseMbps, res.Swaps)
+	fmt.Printf("accounting: %d admitted = %d completed + %d shed (%d errored)\n",
+		rep.Admitted, rep.Completed, rep.Shed, rep.Errored)
+	fmt.Printf("batching: %d batches, mean size %.2f\n", rep.Batches, rep.MeanBatch)
+	fmt.Printf("routes: %s\n", rep.Routes)
+	fmt.Printf("latency ms: p50 %.2f | p90 %.2f | p99 %.2f | max %.2f (queue wait mean %.2f)\n",
+		rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS, rep.MeanQueueMS)
+	for sig, n := range res.SigCounts {
+		fmt.Printf("variant %-12s served %d requests\n", sig, n)
+	}
 	return nil
 }
 

@@ -1,0 +1,338 @@
+// Command loadgen benchmarks the serving gateway against the unbatched
+// single-executor baseline and writes BENCH_gateway.json.
+//
+// Three phases run over the same demo model tree and the same injected
+// offload latency:
+//
+//   - baseline: one SplitExecutor, one offload connection, requests strictly
+//     sequential — the pre-gateway serving path;
+//   - gateway: the same request count through the admission queue, adaptive
+//     micro-batcher and worker pool (per-worker offload connections overlap
+//     the injected wire latency; batched forwards amortise weight streaming);
+//   - overload: a deliberately small queue flooded far beyond capacity to
+//     measure a real shed rate.
+//
+// Usage:
+//
+//	loadgen -requests 128 -workers 8 -batch 8 -latency-ms 5 -out BENCH_gateway.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"cadmc/internal/faultnet"
+	"cadmc/internal/gateway"
+	"cadmc/internal/serving"
+	"cadmc/internal/tensor"
+)
+
+func main() {
+	requests := flag.Int("requests", 128, "requests per measured phase")
+	workers := flag.Int("workers", 8, "gateway worker pool size")
+	batch := flag.Int("batch", 8, "gateway max micro-batch size")
+	latencyMS := flag.Float64("latency-ms", 5, "injected one-way offload latency per write")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "BENCH_gateway.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*requests, *workers, *batch, *latencyMS, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// phaseStats is one measured phase's row in the JSON report.
+type phaseStats struct {
+	Requests      int     `json:"requests"`
+	WallMS        float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	Routes        string  `json:"routes"`
+}
+
+type overloadStats struct {
+	Offered  int64   `json:"offered"`
+	Admitted int64   `json:"admitted"`
+	Shed     int64   `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+}
+
+type benchReport struct {
+	GeneratedAt     string        `json:"generated_at"`
+	Workers         int           `json:"workers"`
+	MaxBatch        int           `json:"max_batch"`
+	LatencyMS       float64       `json:"offload_latency_ms"`
+	Baseline        phaseStats    `json:"baseline_unbatched"`
+	Gateway         phaseStats    `json:"gateway_batched"`
+	Speedup         float64       `json:"batched_vs_unbatched_speedup"`
+	GatewayBatches  int64         `json:"gateway_batches"`
+	GatewayMeanSize float64       `json:"gateway_mean_batch"`
+	Overload        overloadStats `json:"overload"`
+}
+
+// bench is the shared test rig: an in-process cloud server plus the demo
+// tree's partitioned variant, so both phases offload through the same
+// latency-injected loopback channel.
+type bench struct {
+	addr     string
+	srv      *serving.Server
+	variant  *gateway.Variant
+	spec     faultnet.Spec
+	seed     int64
+	inputs   []*tensor.Tensor
+	shutdown func()
+}
+
+func newBench(requests int, latencyMS float64, seed int64) (*bench, error) {
+	tree, err := gateway.DemoTree([]float64{2, 8})
+	if err != nil {
+		return nil, err
+	}
+	srv := serving.NewServer()
+	srv.IdleTimeout = 30 * time.Second
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+
+	provider, err := gateway.NewVariantProvider(tree, seed, srv.Register)
+	if err != nil {
+		_ = srv.Close()
+		<-done
+		return nil, err
+	}
+	// Class 1 partitions after the first block: every request exercises the
+	// offload channel, which is where the latency being overlapped lives.
+	v, err := provider.ForClass(1)
+	if err != nil {
+		_ = srv.Close()
+		<-done
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	inputs := make([]*tensor.Tensor, requests)
+	for i := range inputs {
+		inputs[i] = tensor.Randn(rng, 1, 3, 16, 16)
+	}
+	return &bench{
+		addr:    lis.Addr().String(),
+		srv:     srv,
+		variant: v,
+		spec:    faultnet.Spec{LatencyMS: latencyMS},
+		seed:    seed,
+		inputs:  inputs,
+		shutdown: func() {
+			_ = srv.Close()
+			<-done
+		},
+	}, nil
+}
+
+// dial opens one latency-injected connection to the cloud server.
+func (b *bench) dial(streamSeed int64) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", b.addr)
+		if err != nil {
+			return nil, err
+		}
+		s := b.spec
+		s.Seed = streamSeed
+		return faultnet.Wrap(conn, s, nil), nil
+	}
+}
+
+// runBaseline pushes every request through one executor on one connection,
+// strictly sequentially.
+func (b *bench) runBaseline() (phaseStats, error) {
+	client, err := serving.NewResilientClient(b.dial(b.seed), serving.ResilientOptions{})
+	if err != nil {
+		return phaseStats{}, err
+	}
+	defer func() { _ = client.Close() }()
+	exec := &serving.SplitExecutor{
+		Edge:          b.variant.Net,
+		ModelID:       b.variant.ModelID,
+		Client:        client,
+		FallbackLocal: true,
+	}
+	lat := make([]float64, 0, len(b.inputs))
+	start := time.Now()
+	for i, x := range b.inputs {
+		reqStart := time.Now()
+		if _, _, err := exec.InferRoute(x, b.variant.Cut); err != nil {
+			return phaseStats{}, fmt.Errorf("baseline request %d: %w", i, err)
+		}
+		lat = append(lat, float64(time.Since(reqStart))/float64(time.Millisecond))
+	}
+	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+	sort.Float64s(lat)
+	st := exec.Stats()
+	fmt.Printf("baseline: %s\n", st)
+	return phaseStats{
+		Requests:      len(b.inputs),
+		WallMS:        wallMS,
+		ThroughputRPS: float64(len(b.inputs)) / (wallMS / 1000),
+		P50MS:         gateway.Percentile(lat, 0.50),
+		P99MS:         gateway.Percentile(lat, 0.99),
+		Routes:        st.String(),
+	}, nil
+}
+
+// runGateway pushes the same requests through the gateway.
+func (b *bench) runGateway(workers, maxBatch int) (phaseStats, *gateway.Report, error) {
+	gw, err := gateway.New(gateway.Config{
+		Workers:         workers,
+		QueueCapacity:   len(b.inputs),
+		PerSessionLimit: -1,
+		MaxBatch:        maxBatch,
+		MaxWait:         time.Millisecond,
+		NewOffloader: func(workerID int) (serving.Offloader, error) {
+			return serving.NewResilientClient(b.dial(b.seed+int64(workerID)*7919), serving.ResilientOptions{})
+		},
+		CloseOffloader: func(o serving.Offloader) error {
+			if c, ok := o.(*serving.ResilientClient); ok {
+				return c.Close()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return phaseStats{}, nil, err
+	}
+	if _, err := gw.SetVariant(b.variant); err != nil {
+		return phaseStats{}, nil, err
+	}
+	if err := gw.Start(); err != nil {
+		return phaseStats{}, nil, err
+	}
+	chans := make([]<-chan gateway.Result, len(b.inputs))
+	start := time.Now()
+	for i, x := range b.inputs {
+		ch, err := gw.Submit(fmt.Sprintf("session-%02d", i%16), x)
+		if err != nil {
+			return phaseStats{}, nil, fmt.Errorf("gateway submit %d: %w", i, err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		if res := <-ch; res.Err != nil {
+			return phaseStats{}, nil, fmt.Errorf("gateway request %d: %w", i, res.Err)
+		}
+	}
+	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+	rep := gw.Stop()
+	fmt.Printf("gateway:  %s\n", rep.Routes)
+	return phaseStats{
+		Requests:      len(b.inputs),
+		WallMS:        wallMS,
+		ThroughputRPS: float64(len(b.inputs)) / (wallMS / 1000),
+		P50MS:         rep.P50MS,
+		P99MS:         rep.P99MS,
+		Routes:        rep.Routes.String(),
+	}, &rep, nil
+}
+
+// runOverload floods a deliberately small gateway to measure shedding.
+func (b *bench) runOverload() (overloadStats, error) {
+	gw, err := gateway.New(gateway.Config{
+		Workers:         2,
+		QueueCapacity:   16,
+		PerSessionLimit: 4,
+		MaxBatch:        4,
+		NewOffloader: func(workerID int) (serving.Offloader, error) {
+			return serving.NewResilientClient(b.dial(b.seed+1000+int64(workerID)), serving.ResilientOptions{})
+		},
+		CloseOffloader: func(o serving.Offloader) error {
+			if c, ok := o.(*serving.ResilientClient); ok {
+				return c.Close()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return overloadStats{}, err
+	}
+	if _, err := gw.SetVariant(b.variant); err != nil {
+		return overloadStats{}, err
+	}
+	if err := gw.Start(); err != nil {
+		return overloadStats{}, err
+	}
+	offered := int64(4 * len(b.inputs))
+	var chans []<-chan gateway.Result
+	for i := int64(0); i < offered; i++ {
+		ch, err := gw.Submit(fmt.Sprintf("flood-%02d", i%8), b.inputs[i%int64(len(b.inputs))])
+		if err != nil {
+			continue // shed — exactly what this phase measures
+		}
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		<-ch
+	}
+	rep := gw.Stop()
+	return overloadStats{
+		Offered:  rep.Admitted,
+		Admitted: rep.Completed,
+		Shed:     rep.Shed,
+		ShedRate: float64(rep.Shed) / float64(rep.Admitted),
+	}, nil
+}
+
+func run(requests, workers, maxBatch int, latencyMS float64, seed int64, out string) error {
+	if requests <= 0 || workers <= 0 || maxBatch <= 0 {
+		return fmt.Errorf("requests, workers and batch must be positive")
+	}
+	b, err := newBench(requests, latencyMS, seed)
+	if err != nil {
+		return err
+	}
+	defer b.shutdown()
+
+	base, err := b.runBaseline()
+	if err != nil {
+		return err
+	}
+	gw, rep, err := b.runGateway(workers, maxBatch)
+	if err != nil {
+		return err
+	}
+	over, err := b.runOverload()
+	if err != nil {
+		return err
+	}
+
+	report := benchReport{
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		Workers:         workers,
+		MaxBatch:        maxBatch,
+		LatencyMS:       latencyMS,
+		Baseline:        base,
+		Gateway:         gw,
+		Speedup:         gw.ThroughputRPS / base.ThroughputRPS,
+		GatewayBatches:  rep.Batches,
+		GatewayMeanSize: rep.MeanBatch,
+		Overload:        over,
+	}
+	fmt.Printf("baseline %.1f req/s | gateway %.1f req/s | speedup %.2fx | shed rate %.2f\n",
+		base.ThroughputRPS, gw.ThroughputRPS, report.Speedup, over.ShedRate)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

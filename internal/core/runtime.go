@@ -35,10 +35,19 @@ func (r *Runtime) Done() bool { return r.cur.Terminal() }
 // descends into the matching fork. It returns the new current node, or an
 // error if called on a terminal node.
 func (r *Runtime) Advance(bandwidthMbps float64) (*TreeNode, error) {
+	return r.AdvanceClass(network.Classify(r.tree.ClassMbps, bandwidthMbps))
+}
+
+// AdvanceClass descends the fork of an already-classified bandwidth class —
+// the entry point for callers (the gateway swap manager) that hold a class
+// index rather than a raw measurement.
+func (r *Runtime) AdvanceClass(k int) (*TreeNode, error) {
 	if r.Done() {
 		return nil, fmt.Errorf("core: advance on a terminal node (block %d)", r.cur.BlockIdx)
 	}
-	k := network.Classify(r.tree.ClassMbps, bandwidthMbps)
+	if k < 0 || k >= len(r.cur.Children) {
+		return nil, fmt.Errorf("core: class %d out of range [0,%d) at block %d", k, len(r.cur.Children), r.cur.BlockIdx)
+	}
 	next := r.cur.Children[k]
 	if next == nil {
 		return nil, fmt.Errorf("core: tree node block %d has no child for class %d", r.cur.BlockIdx, k)
@@ -46,6 +55,58 @@ func (r *Runtime) Advance(bandwidthMbps float64) (*TreeNode, error) {
 	r.cur = next
 	r.path = append(r.path, next)
 	return next, nil
+}
+
+// Reset restarts the composition at the tree root, discarding the path taken
+// so far. The runtime can be reused for a fresh walk.
+func (r *Runtime) Reset() {
+	r.cur = r.tree.Root
+	r.path = r.path[:0]
+	r.path = append(r.path, r.tree.Root)
+}
+
+// Rewalk restarts at the root and descends to a terminal under a constant
+// bandwidth — the swap manager's move when the network regime flips
+// mid-stream: the old partial walk is abandoned and the whole tree is
+// re-walked under the new measurement. It returns the terminal node.
+func (r *Runtime) Rewalk(bandwidthMbps float64) (*TreeNode, error) {
+	return r.rewalk(func() (*TreeNode, error) { return r.Advance(bandwidthMbps) })
+}
+
+// RewalkClass is Rewalk for an already-classified bandwidth class.
+func (r *Runtime) RewalkClass(k int) (*TreeNode, error) {
+	return r.rewalk(func() (*TreeNode, error) { return r.AdvanceClass(k) })
+}
+
+func (r *Runtime) rewalk(step func() (*TreeNode, error)) (*TreeNode, error) {
+	r.Reset()
+	for !r.Done() {
+		if _, err := step(); err != nil {
+			return nil, err
+		}
+	}
+	return r.cur, nil
+}
+
+// ComposeForClass walks the whole tree under a constant bandwidth class and
+// returns the composed candidate with the branch taken. This is the variant
+// the gateway serves while the network stays inside one class regime.
+func ComposeForClass(tree *ModelTree, k int) (Candidate, Branch, error) {
+	if tree != nil && (k < 0 || k >= tree.K()) {
+		return Candidate{}, Branch{}, fmt.Errorf("core: class %d out of range [0,%d)", k, tree.K())
+	}
+	rt, err := NewRuntime(tree)
+	if err != nil {
+		return Candidate{}, Branch{}, err
+	}
+	if _, err := rt.RewalkClass(k); err != nil {
+		return Candidate{}, Branch{}, err
+	}
+	cand, err := rt.Candidate()
+	if err != nil {
+		return Candidate{}, Branch{}, err
+	}
+	return cand, rt.Branch(), nil
 }
 
 // Branch returns the path taken so far.

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cadmc/internal/nn"
+)
+
+// runtimeTestTree hand-builds a 3-block, K=2 model tree with one partition
+// point per class regime: class 0 (poor bandwidth) stays edge-resident,
+// class 1 (good bandwidth) partitions as early as possible — the paper's
+// qualitative policy, small enough to walk exhaustively in tests.
+func runtimeTestTree(t *testing.T) *ModelTree {
+	t.Helper()
+	base := &nn.Model{
+		Name:    "runtime-test",
+		Input:   nn.Shape{C: 3, H: 16, W: 16},
+		Classes: 10,
+		Layers: []nn.Layer{
+			nn.NewConv(3, 8, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewConv(8, 16, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewFlatten(),
+			nn.NewFC(16*4*4, 48),
+			nn.NewReLU(),
+			nn.NewFC(48, 10),
+		},
+	}
+	if err := base.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	block0 := append([]nn.Layer(nil), base.Layers[0:3]...)
+	block1 := append([]nn.Layer(nil), base.Layers[3:6]...)
+	block2 := append([]nn.Layer(nil), base.Layers[6:10]...)
+	tree := &ModelTree{
+		Base:      base,
+		Blocks:    []nn.Block{{Start: 0, End: 3}, {Start: 3, End: 6}, {Start: 6, End: 10}},
+		ClassMbps: []float64{2, 8},
+		RootClass: 0,
+		Root: &TreeNode{
+			BlockIdx:   0,
+			Fork:       -1,
+			EdgeLayers: block0,
+			Children: []*TreeNode{
+				{
+					BlockIdx:   1,
+					Fork:       0,
+					EdgeLayers: block1,
+					Children: []*TreeNode{
+						{BlockIdx: 2, Fork: 0, EdgeLayers: block2},
+						{BlockIdx: 2, Fork: 1, CloudTail: block2},
+					},
+				},
+				{BlockIdx: 1, Fork: 1, CloudTail: append(append([]nn.Layer(nil), block1...), block2...)},
+			},
+		},
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func forksOf(rt *Runtime) []int {
+	return rt.Branch().Forks
+}
+
+func sameForks(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// A bandwidth landing exactly on a class boundary (the log-space midpoint of
+// two class levels, or a class level itself) must classify deterministically
+// and never panic, every single time.
+func TestRuntimeAdvanceOnClassBoundary(t *testing.T) {
+	tree := runtimeTestTree(t)
+	boundary := math.Sqrt(2 * 8) // log-equidistant from both classes
+	var want []int
+	for i := 0; i < 200; i++ {
+		rt, err := NewRuntime(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !rt.Done() {
+			if _, err := rt.Advance(boundary); err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		}
+		if want == nil {
+			want = forksOf(rt)
+		} else if !sameForks(want, forksOf(rt)) {
+			t.Fatalf("iteration %d took forks %v, want %v", i, forksOf(rt), want)
+		}
+	}
+	// Bandwidths equal to a class level must map to that class.
+	for k, w := range tree.ClassMbps {
+		rt, err := NewRuntime(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := rt.Advance(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node.Fork != k {
+			t.Fatalf("bandwidth %v classified to fork %d, want %d", w, node.Fork, k)
+		}
+	}
+}
+
+// A regime flip mid-walk abandons the partial composition: Rewalk must land
+// on the same branch a fresh constant-bandwidth walk takes, deterministically.
+func TestRuntimeRewalkAfterRegimeFlip(t *testing.T) {
+	tree := runtimeTestTree(t)
+	rt, err := NewRuntime(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk one step under good bandwidth (descends the partition-early fork).
+	if _, err := rt.Advance(8); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Done() {
+		t.Fatal("good-bandwidth fork should partition immediately in the test tree")
+	}
+	// The regime flips to poor: re-walk from the root.
+	term, err := rt.Rewalk(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Partitioned() {
+		t.Fatal("poor-bandwidth branch must stay edge-resident")
+	}
+	cand, err := rt.Candidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCand, wantBranch, err := ComposeForClass(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameForks(forksOf(rt), wantBranch.Forks) {
+		t.Fatalf("rewalk forks %v, want %v", forksOf(rt), wantBranch.Forks)
+	}
+	if cand.Cut != wantCand.Cut || len(cand.Model.Layers) != len(wantCand.Model.Layers) {
+		t.Fatalf("rewalk candidate (cut %d, %d layers) differs from fresh walk (cut %d, %d layers)",
+			cand.Cut, len(cand.Model.Layers), wantCand.Cut, len(wantCand.Model.Layers))
+	}
+	// Determinism across 100 repeats of the same flip sequence.
+	for i := 0; i < 100; i++ {
+		if _, err := rt.Rewalk(8); err != nil {
+			t.Fatal(err)
+		}
+		hi := append([]int(nil), forksOf(rt)...)
+		if _, err := rt.Rewalk(2); err != nil {
+			t.Fatal(err)
+		}
+		lo := forksOf(rt)
+		if !sameForks(hi, []int{-1, 1}) || !sameForks(lo, []int{-1, 0, 0}) {
+			t.Fatalf("iteration %d: forks hi=%v lo=%v", i, hi, lo)
+		}
+	}
+}
+
+func TestComposeForClassCoversEveryClass(t *testing.T) {
+	tree := runtimeTestTree(t)
+	cuts := make(map[int]bool)
+	for k := 0; k < tree.K(); k++ {
+		cand, branch, err := ComposeForClass(tree, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cand.Model.Validate(); err != nil {
+			t.Fatalf("class %d candidate invalid: %v", k, err)
+		}
+		if got := branch.Forks[0]; got != -1 {
+			t.Fatalf("branch must start at the root, got fork %d", got)
+		}
+		cuts[cand.Cut] = true
+	}
+	if len(cuts) != 2 {
+		t.Fatalf("class variants should differ in their cut, got %v", cuts)
+	}
+	if _, _, err := ComposeForClass(tree, -1); err == nil {
+		t.Fatal("expected class-range error")
+	}
+	if _, _, err := ComposeForClass(tree, tree.K()); err == nil {
+		t.Fatal("expected class-range error")
+	}
+}
+
+func TestRuntimeAdvanceClassErrors(t *testing.T) {
+	tree := runtimeTestTree(t)
+	rt, err := NewRuntime(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AdvanceClass(-1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := rt.AdvanceClass(2); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := rt.RewalkClass(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AdvanceClass(0); err == nil {
+		t.Fatal("expected terminal-node error")
+	}
+}

@@ -1,0 +1,390 @@
+// Package gateway is the multi-session serving front end: where internal/
+// serving executes one split inference at a time, the gateway holds many
+// concurrent user sessions and amortises execution across them — the step
+// from "a partition algorithm" to "a serving system" that the DNN-partition
+// literature identifies as the gap between papers and deployments.
+//
+// The pipeline is queue → batcher → workers → swap manager:
+//
+//   - a bounded admission queue sheds load when full and enforces per-session
+//     fairness (one hot session cannot monopolise the backlog);
+//   - an adaptive micro-batcher coalesces queued requests into batches for
+//     one batched nn forward pass — immediately when backlog is deep, after
+//     a short max-wait when it is shallow;
+//   - an edge worker pool executes batches against the current model-tree
+//     variant, offloading the cloud half through per-worker resilient
+//     clients;
+//   - a swap manager watches a network.Monitor and, when the bandwidth class
+//     changes, re-walks the model tree and atomically hot-swaps the composed
+//     variant: batches formed after the swap run the new variant, in-flight
+//     batches drain on the old one, and no request is ever dropped.
+//
+// Accounting is exact by construction: every request offered to Submit is
+// either shed at admission or completed with a result — Admitted ==
+// Completed + Shed holds at any drained point, across any number of swaps.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cadmc/internal/faultnet"
+	"cadmc/internal/serving"
+	"cadmc/internal/tensor"
+)
+
+// Sentinel admission errors. All of them mean "shed": the request was
+// rejected at the front door and will not be executed.
+var (
+	// ErrQueueFull sheds a request because the bounded admission queue is at
+	// capacity.
+	ErrQueueFull = errors.New("gateway: admission queue full")
+	// ErrSessionLimit sheds a request because its session already has the
+	// maximum outstanding requests — per-session fairness.
+	ErrSessionLimit = errors.New("gateway: session outstanding limit reached")
+	// ErrClosed sheds a request because the gateway is shutting down.
+	ErrClosed = errors.New("gateway: closed")
+)
+
+// Config tunes the gateway.
+type Config struct {
+	// Workers is the edge worker pool size (default 4). Workers mostly
+	// overlap network waits, so the pool may usefully exceed GOMAXPROCS.
+	Workers int
+	// QueueCapacity bounds the admission queue (default 256).
+	QueueCapacity int
+	// PerSessionLimit caps one session's outstanding (queued or executing)
+	// requests (default 8); 0 picks the default, negative disables.
+	PerSessionLimit int
+	// MaxBatch caps the micro-batch size (default 8).
+	MaxBatch int
+	// MaxWait is how long a worker holding a shallow backlog waits for
+	// batch-mates before dispatching (default 2ms). Zero dispatches
+	// immediately.
+	MaxWait time.Duration
+	// Clock timestamps requests for latency accounting; nil uses a real
+	// monotonic clock.
+	Clock faultnet.Clock
+	// NewOffloader, when set, builds one offload channel per worker for the
+	// cloud half of partitioned variants (per-worker channels keep the pool
+	// from serialising on one connection's request lock). Nil runs
+	// partitioned variants in edge-fallback mode.
+	NewOffloader func(worker int) (serving.Offloader, error)
+	// CloseOffloader releases a channel built by NewOffloader; may be nil.
+	CloseOffloader func(o serving.Offloader) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 256
+	}
+	if c.PerSessionLimit == 0 {
+		c.PerSessionLimit = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.Clock == nil {
+		c.Clock = faultnet.NewClock()
+	}
+	return c
+}
+
+// Result is one completed request's outcome.
+type Result struct {
+	// Logits is the model output; nil when Err is set.
+	Logits []float64
+	// Route records where the inference completed.
+	Route serving.Route
+	// VariantSig identifies the composed tree variant that served the
+	// request — requests in flight across a hot-swap report the old variant.
+	VariantSig string
+	// BatchSize is the micro-batch the request rode in.
+	BatchSize int
+	// QueueMS and TotalMS are the queue wait and the admission-to-completion
+	// latency on the gateway clock.
+	QueueMS float64
+	TotalMS float64
+	// Err reports a per-request execution failure. The request still counts
+	// as completed: it received a definitive answer.
+	Err error
+}
+
+// Report is a snapshot of the gateway's exact accounting.
+type Report struct {
+	// Admitted counts every request offered to Submit. Each one is either
+	// Completed or Shed — the gateway never drops a request silently, so
+	// Admitted == Completed + Shed once the gateway has drained.
+	Admitted  int64
+	Completed int64
+	Shed      int64
+	// Shed broken down by cause.
+	ShedQueueFull int64
+	ShedSession   int64
+	ShedClosed    int64
+	// Errored counts completions whose Result carried an error.
+	Errored int64
+	// Batches is the number of micro-batches dispatched; MeanBatch is
+	// BatchedRequests/Batches.
+	Batches         int64
+	BatchedRequests int64
+	MeanBatch       float64
+	// Swaps counts variant hot-swaps after the initial variant was set.
+	Swaps int64
+	// Routes aggregates the per-route executor stats across all workers and
+	// variants.
+	Routes serving.SplitStats
+	// Latency percentiles (TotalMS) over completed requests.
+	P50MS, P90MS, P99MS, MaxMS, MeanMS float64
+	// MeanQueueMS is the mean admission-to-dispatch wait.
+	MeanQueueMS float64
+}
+
+// Gateway is the concurrent request front end. Build with New, set the
+// initial variant (directly or through a SwapManager), Start, Submit from
+// any number of goroutines, and Stop to drain.
+type Gateway struct {
+	cfg Config
+	q   *admitQueue
+
+	variant atomic.Pointer[Variant]
+	swaps   atomic.Int64
+
+	wg      sync.WaitGroup
+	started atomic.Bool
+
+	admitted      atomic.Int64
+	completed     atomic.Int64
+	shed          atomic.Int64
+	shedQueueFull atomic.Int64
+	shedSession   atomic.Int64
+	shedClosed    atomic.Int64
+	errored       atomic.Int64
+	batches       atomic.Int64
+	batchedReqs   atomic.Int64
+
+	mu          sync.Mutex
+	workers     []*worker
+	finalRoutes serving.SplitStats
+	latencies   []float64
+	queueMS     []float64
+}
+
+// New builds a gateway. The initial variant must be set (SetVariant or a
+// SwapManager) before Start.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxBatch > cfg.QueueCapacity {
+		return nil, fmt.Errorf("gateway: max batch %d exceeds queue capacity %d", cfg.MaxBatch, cfg.QueueCapacity)
+	}
+	return &Gateway{
+		cfg: cfg,
+		q:   newAdmitQueue(cfg.QueueCapacity, cfg.PerSessionLimit),
+	}, nil
+}
+
+// SetVariant atomically publishes the variant new batches execute; it
+// returns the variant previously active (nil on first call). In-flight
+// batches keep their old variant reference and drain on it — the swap never
+// drops a request.
+func (g *Gateway) SetVariant(v *Variant) (*Variant, error) {
+	if v == nil {
+		return nil, errors.New("gateway: nil variant")
+	}
+	old := g.variant.Swap(v)
+	if old != nil {
+		g.swaps.Add(1)
+	}
+	return old, nil
+}
+
+// CurrentVariant returns the variant new batches would execute.
+func (g *Gateway) CurrentVariant() *Variant { return g.variant.Load() }
+
+// Swaps returns the number of hot-swaps performed so far.
+func (g *Gateway) Swaps() int64 { return g.swaps.Load() }
+
+// Start launches the worker pool. It fails if no variant is set.
+func (g *Gateway) Start() error {
+	if g.variant.Load() == nil {
+		return errors.New("gateway: start before any variant is set")
+	}
+	if !g.started.CompareAndSwap(false, true) {
+		return errors.New("gateway: already started")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < g.cfg.Workers; i++ {
+		w := &worker{id: i, g: g, execs: make(map[string]*serving.SplitExecutor)}
+		if g.cfg.NewOffloader != nil {
+			off, err := g.cfg.NewOffloader(i)
+			if err != nil {
+				// Tear down the workers already wired before reporting.
+				for _, prev := range g.workers {
+					prev.closeOffloader()
+				}
+				g.workers = nil
+				g.started.Store(false)
+				return fmt.Errorf("gateway: offloader for worker %d: %w", i, err)
+			}
+			w.offloader = off
+		}
+		g.workers = append(g.workers, w)
+		g.wg.Add(1)
+		go w.run(&g.wg)
+	}
+	return nil
+}
+
+// Submit offers one request. On admission it returns a channel that will
+// receive exactly one Result; on shedding it returns the shed cause
+// (ErrQueueFull, ErrSessionLimit or ErrClosed).
+func (g *Gateway) Submit(session string, x *tensor.Tensor) (<-chan Result, error) {
+	g.admitted.Add(1)
+	if x == nil {
+		// A nil input is a caller bug, not load: count it as shed with a
+		// definitive error so accounting stays exact.
+		g.shed.Add(1)
+		g.shedClosed.Add(1)
+		return nil, errors.New("gateway: nil input")
+	}
+	req := &request{
+		session: session,
+		input:   x,
+		done:    make(chan Result, 1),
+		enq:     g.cfg.Clock.Now(),
+	}
+	if err := g.q.push(req); err != nil {
+		g.shed.Add(1)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			g.shedQueueFull.Add(1)
+		case errors.Is(err, ErrSessionLimit):
+			g.shedSession.Add(1)
+		default:
+			g.shedClosed.Add(1)
+		}
+		return nil, err
+	}
+	return req.done, nil
+}
+
+// Stop closes admissions, drains every queued request through the workers,
+// waits for the pool to exit, and returns the final report. Safe to call
+// once; Submit calls racing with Stop are shed with ErrClosed.
+func (g *Gateway) Stop() Report {
+	g.q.close()
+	if g.started.Load() {
+		g.wg.Wait()
+	} else {
+		// Never started: no workers will drain the backlog. Complete every
+		// queued request with ErrClosed so Admitted == Completed + Shed
+		// still holds.
+		for req := range g.q.ch {
+			g.complete(req, Result{Err: ErrClosed})
+		}
+	}
+	g.mu.Lock()
+	workers := g.workers
+	g.workers = nil
+	for _, w := range workers {
+		g.finalRoutes.Add(w.stats())
+	}
+	g.mu.Unlock()
+	for _, w := range workers {
+		w.closeOffloader()
+	}
+	return g.Report()
+}
+
+// Report snapshots the accounting counters and latency distribution.
+func (g *Gateway) Report() Report {
+	r := Report{
+		Admitted:        g.admitted.Load(),
+		Completed:       g.completed.Load(),
+		Shed:            g.shed.Load(),
+		ShedQueueFull:   g.shedQueueFull.Load(),
+		ShedSession:     g.shedSession.Load(),
+		ShedClosed:      g.shedClosed.Load(),
+		Errored:         g.errored.Load(),
+		Batches:         g.batches.Load(),
+		BatchedRequests: g.batchedReqs.Load(),
+		Swaps:           g.swaps.Load(),
+	}
+	if r.Batches > 0 {
+		r.MeanBatch = float64(r.BatchedRequests) / float64(r.Batches)
+	}
+	g.mu.Lock()
+	lat := append([]float64(nil), g.latencies...)
+	qms := append([]float64(nil), g.queueMS...)
+	for _, w := range g.workers {
+		r.Routes.Add(w.stats())
+	}
+	if g.workers == nil {
+		// Stopped: workers were detached after draining; their executors'
+		// final stats were folded into finalRoutes.
+		r.Routes.Add(g.finalRoutes)
+	}
+	g.mu.Unlock()
+	sort.Float64s(lat)
+	r.P50MS = Percentile(lat, 0.50)
+	r.P90MS = Percentile(lat, 0.90)
+	r.P99MS = Percentile(lat, 0.99)
+	if len(lat) > 0 {
+		r.MaxMS = lat[len(lat)-1]
+		sum := 0.0
+		for _, v := range lat {
+			sum += v
+		}
+		r.MeanMS = sum / float64(len(lat))
+	}
+	if len(qms) > 0 {
+		sum := 0.0
+		for _, v := range qms {
+			sum += v
+		}
+		r.MeanQueueMS = sum / float64(len(qms))
+	}
+	return r
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample set by linear interpolation; 0 for an empty set.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// complete delivers one result and updates accounting. Every admitted
+// request passes through here exactly once.
+func (g *Gateway) complete(req *request, res Result) {
+	res.QueueMS = durMS(req.dispatch - req.enq)
+	res.TotalMS = durMS(g.cfg.Clock.Now() - req.enq)
+	g.q.release(req.session)
+	g.completed.Add(1)
+	if res.Err != nil {
+		g.errored.Add(1)
+	}
+	g.mu.Lock()
+	g.latencies = append(g.latencies, res.TotalMS)
+	g.queueMS = append(g.queueMS, res.QueueMS)
+	g.mu.Unlock()
+	req.done <- res
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

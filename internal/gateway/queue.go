@@ -1,0 +1,132 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"cadmc/internal/tensor"
+)
+
+// request is one admitted inference travelling through the pipeline.
+type request struct {
+	session string
+	input   *tensor.Tensor
+	done    chan Result
+	// enq and dispatch are gateway-clock timestamps: admission and the
+	// moment a worker picked the request into a batch.
+	enq      time.Duration
+	dispatch time.Duration
+}
+
+// admitQueue is the bounded admission stage: a buffered channel carries the
+// backlog, a mutex-guarded session table enforces the per-session
+// outstanding cap, and closing flips every later push into an ErrClosed
+// shed. Requests already in the channel at close time are still drained by
+// the workers — closing rejects new work, it never discards accepted work.
+type admitQueue struct {
+	ch         chan *request
+	sessionCap int
+
+	mu          sync.Mutex
+	closed      bool
+	outstanding map[string]int
+}
+
+func newAdmitQueue(capacity, sessionCap int) *admitQueue {
+	return &admitQueue{
+		ch:          make(chan *request, capacity),
+		sessionCap:  sessionCap,
+		outstanding: make(map[string]int),
+	}
+}
+
+// push admits or sheds one request. The whole admission — closed check,
+// session cap, channel send — happens under the lock: the send is
+// non-blocking so holding the mutex is cheap, and it makes push/close
+// atomic (a racing close can never make push send on a closed channel).
+func (q *admitQueue) push(r *request) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.sessionCap > 0 && q.outstanding[r.session] >= q.sessionCap {
+		return ErrSessionLimit
+	}
+	select {
+	case q.ch <- r:
+		q.outstanding[r.session]++
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// release returns a session's outstanding slot when its request completes
+// or is rolled back.
+func (q *admitQueue) release(session string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.outstanding[session] <= 1 {
+		delete(q.outstanding, session)
+	} else {
+		q.outstanding[session]--
+	}
+}
+
+// close stops admissions. Idempotent; the backlog channel is closed so
+// draining workers observe end-of-stream after the last queued request.
+func (q *admitQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.ch)
+}
+
+// popBatch blocks for the first request, then coalesces adaptively: it
+// drains whatever is already queued (deep backlog → full batch, zero added
+// latency), and only when the batch is still shallow does it wait up to
+// maxWait for batch-mates. Returns nil when the queue is closed and fully
+// drained.
+func (q *admitQueue) popBatch(maxBatch int, maxWait time.Duration) []*request {
+	first, ok := <-q.ch
+	if !ok {
+		return nil
+	}
+	batch := append(make([]*request, 0, maxBatch), first)
+	// Fast drain: take whatever is already queued without waiting.
+drain:
+	for len(batch) < maxBatch {
+		select {
+		case r, ok := <-q.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		default:
+			break drain
+		}
+	}
+	if len(batch) >= maxBatch || maxWait <= 0 {
+		return batch
+	}
+	// Shallow batch: one timer bounds the whole coalesce window, however
+	// many batch-mates trickle in during it.
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	for len(batch) < maxBatch {
+		select {
+		case r, ok := <-q.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}

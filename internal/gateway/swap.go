@@ -1,0 +1,72 @@
+package gateway
+
+import (
+	"fmt"
+
+	"cadmc/internal/network"
+)
+
+// SwapManager closes the loop between the network monitor and the serving
+// path: each Poll estimates bandwidth, classifies it against the tree's
+// class levels, and — only when the class actually changed — re-walks the
+// model tree and hot-swaps the gateway's variant. In-flight batches drain on
+// the variant they started with; the swap is atomic for new batches and
+// lossless for old ones.
+type SwapManager struct {
+	gw       *Gateway
+	provider *VariantProvider
+	monitor  network.Monitor
+	classes  []float64
+	class    int
+	swaps    int64
+}
+
+// NewSwapManager wires a gateway to a monitor through a variant provider and
+// installs the initial variant for the bandwidth observed at t=0... the
+// caller still decides when Poll runs (real ticker in cmd, virtual-time loop
+// in tests), which keeps the swap schedule deterministic under test.
+func NewSwapManager(gw *Gateway, provider *VariantProvider, monitor network.Monitor, startTMS float64) (*SwapManager, error) {
+	if gw == nil || provider == nil || monitor == nil {
+		return nil, fmt.Errorf("gateway: swap manager needs a gateway, provider and monitor")
+	}
+	m := &SwapManager{
+		gw:       gw,
+		provider: provider,
+		monitor:  monitor,
+		classes:  provider.tree.ClassMbps,
+		class:    -1,
+	}
+	if _, err := m.Poll(startTMS); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Poll samples the monitor at trace time tMS and swaps the gateway variant
+// if the bandwidth class changed. It returns true when a swap (or the
+// initial install) happened.
+func (m *SwapManager) Poll(tMS float64) (bool, error) {
+	w := m.monitor.EstimateMbps(tMS)
+	k := network.Classify(m.classes, w)
+	if k == m.class {
+		return false, nil
+	}
+	v, err := m.provider.ForClass(k)
+	if err != nil {
+		return false, fmt.Errorf("gateway: swap to class %d (%.2f Mbps): %w", k, w, err)
+	}
+	if _, err := m.gw.SetVariant(v); err != nil {
+		return false, err
+	}
+	if m.class >= 0 {
+		m.swaps++
+	}
+	m.class = k
+	return true, nil
+}
+
+// Class returns the bandwidth class currently being served.
+func (m *SwapManager) Class() int { return m.class }
+
+// Swaps counts class changes after the initial install.
+func (m *SwapManager) Swaps() int64 { return m.swaps }

@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"testing"
+)
+
+// scriptedMonitor maps trace time to bandwidth through a step function —
+// the deterministic stand-in for a live estimator.
+type scriptedMonitor struct {
+	steps []struct {
+		untilMS float64
+		mbps    float64
+	}
+}
+
+func (m *scriptedMonitor) EstimateMbps(tMS float64) float64 {
+	for _, s := range m.steps {
+		if tMS < s.untilMS {
+			return s.mbps
+		}
+	}
+	return m.steps[len(m.steps)-1].mbps
+}
+
+// The swap manager must install the initial variant, swap exactly on class
+// changes, and ignore bandwidth wobble inside one class.
+func TestSwapManagerSwapsOnClassChangeOnly(t *testing.T) {
+	p := demoProvider(t, 71, nil)
+	gw, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &scriptedMonitor{steps: []struct {
+		untilMS float64
+		mbps    float64
+	}{
+		{untilMS: 100, mbps: 2},   // class 0
+		{untilMS: 200, mbps: 3},   // still class 0 (wobble)
+		{untilMS: 300, mbps: 9},   // class 1
+		{untilMS: 400, mbps: 1.5}, // class 0 again
+	}}
+	m, err := NewSwapManager(gw, p, mon, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Class() != 0 {
+		t.Fatalf("initial class %d, want 0", m.Class())
+	}
+	if gw.CurrentVariant() == nil {
+		t.Fatal("initial variant not installed")
+	}
+	edgeSig := gw.CurrentVariant().Sig
+
+	swapped, err := m.Poll(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped || m.Swaps() != 0 {
+		t.Fatal("wobble inside class 0 must not swap")
+	}
+	swapped, err = m.Poll(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped || m.Class() != 1 || m.Swaps() != 1 {
+		t.Fatalf("regime shift not swapped: class %d swaps %d", m.Class(), m.Swaps())
+	}
+	if gw.CurrentVariant().Sig == edgeSig {
+		t.Fatal("swap must publish a different variant")
+	}
+	swapped, err = m.Poll(350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped || m.Class() != 0 {
+		t.Fatal("collapse back to class 0 not swapped")
+	}
+	// Oscillation reuses the cached variant rather than rebuilding.
+	if gw.CurrentVariant().Sig != edgeSig {
+		t.Fatal("returning to class 0 must reuse the cached edge variant")
+	}
+	if gw.Swaps() != 2 {
+		t.Fatalf("gateway counted %d swaps, want 2", gw.Swaps())
+	}
+}

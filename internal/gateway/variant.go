@@ -1,0 +1,126 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cadmc/internal/core"
+	"cadmc/internal/nn"
+)
+
+// Variant is one executable composition of the model tree: the block chain a
+// branch walk produced, instantiated with weights, plus the partition point.
+// Variants are immutable after construction — the gateway hot-swaps by
+// publishing a new *Variant, never by mutating one.
+type Variant struct {
+	// Sig identifies the branch that produced this variant (fork indices
+	// joined, e.g. "f-1.0.1"); it keys the provider cache and is echoed in
+	// every Result so tests can pin a request to the chain that served it.
+	Sig string
+	// Class is the bandwidth-class index the variant was composed for.
+	Class int
+	// ModelID is the registration id on the cloud server ("gw/" + Sig).
+	ModelID string
+	// Net holds the full composed weights. The edge executes [0, Cut]; the
+	// cloud server holds the same net under ModelID, so offloaded and
+	// fallback completions are bit-identical.
+	Net *nn.Net
+	// Cut is the partition point (len(layers)-1 = edge-resident).
+	Cut int
+	// Branch is the tree walk that produced the composition.
+	Branch core.Branch
+
+	inflight atomic.Int64
+}
+
+// InFlight reports how many requests are currently executing on this
+// variant — after a swap it decays to zero as old batches drain.
+func (v *Variant) InFlight() int64 { return v.inflight.Load() }
+
+// BranchSig renders a branch's fork path as a stable signature.
+func BranchSig(b core.Branch) string {
+	parts := make([]string, len(b.Forks))
+	for i, f := range b.Forks {
+		parts[i] = fmt.Sprintf("%d", f)
+	}
+	return "f" + strings.Join(parts, ".")
+}
+
+// VariantProvider composes and caches variants per bandwidth class. Weights
+// are deterministic: each variant's net is initialised from the provider
+// seed mixed with the branch signature, so two providers with the same seed
+// build bit-identical variants (that is how the e2e test recomputes expected
+// logits out-of-band).
+type VariantProvider struct {
+	tree *core.ModelTree
+	seed int64
+	// register, when set, publishes each newly built net to the cloud side
+	// (e.g. serving.Server.Register) so partitioned variants can offload.
+	register func(id string, net *nn.Net) error
+
+	mu    sync.Mutex
+	cache map[string]*Variant
+}
+
+// NewVariantProvider builds a provider over a composed model tree. register
+// may be nil when every variant will run edge-resident or fallback.
+func NewVariantProvider(tree *core.ModelTree, seed int64, register func(id string, net *nn.Net) error) (*VariantProvider, error) {
+	if tree == nil || tree.Root == nil {
+		return nil, fmt.Errorf("gateway: variant provider needs a composed model tree")
+	}
+	return &VariantProvider{
+		tree:     tree,
+		seed:     seed,
+		register: register,
+		cache:    make(map[string]*Variant),
+	}, nil
+}
+
+// ForClass returns the variant serving bandwidth class k, composing and
+// instantiating it on first request and caching it by branch signature —
+// oscillating between two classes reuses both variants instead of
+// rebuilding them (the memory-pool idea from the search, applied to
+// serving).
+func (p *VariantProvider) ForClass(k int) (*Variant, error) {
+	cand, branch, err := core.ComposeForClass(p.tree, k)
+	if err != nil {
+		return nil, err
+	}
+	sig := BranchSig(branch)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.cache[sig]; ok {
+		return v, nil
+	}
+	net, err := nn.NewNet(cand.Model, rand.New(rand.NewSource(p.variantSeed(sig))))
+	if err != nil {
+		return nil, fmt.Errorf("gateway: instantiate variant %s: %w", sig, err)
+	}
+	v := &Variant{
+		Sig:     sig,
+		Class:   k,
+		ModelID: "gw/" + sig,
+		Net:     net,
+		Cut:     cand.Cut,
+		Branch:  branch,
+	}
+	if p.register != nil && v.Cut < len(net.Model.Layers)-1 {
+		if err := p.register(v.ModelID, net); err != nil {
+			return nil, fmt.Errorf("gateway: register variant %s: %w", sig, err)
+		}
+	}
+	p.cache[sig] = v
+	return v, nil
+}
+
+// variantSeed mixes the provider seed with the branch signature so each
+// variant gets distinct but reproducible weights.
+func (p *VariantProvider) variantSeed(sig string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(sig))
+	return p.seed ^ int64(h.Sum64())
+}

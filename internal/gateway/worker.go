@@ -1,0 +1,116 @@
+package gateway
+
+import (
+	"sync"
+
+	"cadmc/internal/serving"
+	"cadmc/internal/tensor"
+)
+
+// worker is one member of the edge pool. It owns its offload channel (per-
+// worker channels let the pool overlap many in-flight network round trips —
+// on an edge device the win comes from hiding wire latency, not from CPU
+// parallelism) and one SplitExecutor per variant it has served, so route
+// stats survive hot-swaps.
+type worker struct {
+	id        int
+	g         *Gateway
+	offloader serving.Offloader
+
+	mu    sync.Mutex
+	execs map[string]*serving.SplitExecutor
+}
+
+// run is the worker loop: pop a coalesced batch, execute it on the variant
+// current at dispatch time, deliver each result. It exits when the queue is
+// closed and drained, which is what makes Stop lossless.
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		batch := w.g.q.popBatch(w.g.cfg.MaxBatch, w.g.cfg.MaxWait)
+		if batch == nil {
+			return
+		}
+		w.serve(batch)
+	}
+}
+
+// serve executes one micro-batch. The variant is loaded once: every request
+// in the batch runs the same composed chain, and a hot-swap landing after
+// this load only affects later batches — this batch drains on its variant.
+func (w *worker) serve(batch []*request) {
+	v := w.g.variant.Load()
+	now := w.g.cfg.Clock.Now()
+	for _, r := range batch {
+		r.dispatch = now
+	}
+	w.g.batches.Add(1)
+	w.g.batchedReqs.Add(int64(len(batch)))
+
+	v.inflight.Add(int64(len(batch)))
+	defer v.inflight.Add(-int64(len(batch)))
+
+	exec := w.executor(v)
+	xs := make([]*tensor.Tensor, len(batch))
+	for i, r := range batch {
+		xs[i] = r.input
+	}
+	outcomes, err := exec.InferBatch(xs, v.Cut)
+	if err != nil {
+		// Whole-batch rejection: answer every request with the error rather
+		// than dropping any.
+		for _, r := range batch {
+			w.g.complete(r, Result{VariantSig: v.Sig, BatchSize: len(batch), Err: err})
+		}
+		return
+	}
+	for i, r := range batch {
+		o := outcomes[i]
+		w.g.complete(r, Result{
+			Logits:     o.Logits,
+			Route:      o.Route,
+			VariantSig: v.Sig,
+			BatchSize:  len(batch),
+			Err:        o.Err,
+		})
+	}
+}
+
+// executor returns this worker's executor for a variant, building it on
+// first use. Workers never share executors, so the only contention on the
+// hot path is the executor's own stats mutex.
+func (w *worker) executor(v *Variant) *serving.SplitExecutor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e, ok := w.execs[v.Sig]; ok {
+		return e
+	}
+	e := &serving.SplitExecutor{
+		Edge:          v.Net,
+		ModelID:       v.ModelID,
+		Client:        w.offloader,
+		FallbackLocal: true,
+	}
+	w.execs[v.Sig] = e
+	return e
+}
+
+// stats sums the per-variant executors' route counters.
+func (w *worker) stats() serving.SplitStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var s serving.SplitStats
+	for _, e := range w.execs {
+		s.Add(e.Stats())
+	}
+	return s
+}
+
+// closeOffloader releases the worker's offload channel if the gateway was
+// configured with a closer.
+func (w *worker) closeOffloader() {
+	if w.offloader == nil || w.g.cfg.CloseOffloader == nil {
+		return
+	}
+	_ = w.g.cfg.CloseOffloader(w.offloader)
+}

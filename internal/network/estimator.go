@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Monitor exposes what the online decision engine can know about bandwidth
@@ -28,12 +29,17 @@ func (o *OracleMonitor) EstimateMbps(tMS float64) float64 { return o.Trace.At(tM
 
 // CoarseMonitor models a realistic on-device bandwidth estimator: it only
 // refreshes every ProbeIntervalMS (estimates in between are stale) and each
-// probe carries multiplicative log-normal noise.
+// probe carries multiplicative log-normal noise. It is safe for concurrent
+// use: the gateway's swap manager and workers poll one monitor from many
+// goroutines, so the probe state (rng, slot, cached value) lives behind a
+// mutex.
 type CoarseMonitor struct {
 	Trace           *Trace
 	ProbeIntervalMS float64
 	// NoiseStd is the log-domain standard deviation of probe error.
 	NoiseStd float64
+
+	mu       sync.Mutex
 	rng      *rand.Rand
 	lastSlot int
 	lastVal  float64
@@ -62,6 +68,8 @@ var _ Monitor = (*CoarseMonitor)(nil)
 // same (noisy, possibly stale) value; a new interval triggers a fresh probe
 // of the bandwidth as it was at the interval boundary.
 func (c *CoarseMonitor) EstimateMbps(tMS float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	slot := int(tMS / c.ProbeIntervalMS)
 	if slot != c.lastSlot {
 		probeTime := float64(slot) * c.ProbeIntervalMS

@@ -1,0 +1,56 @@
+package network
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The gateway polls one CoarseMonitor from the swap manager and every worker
+// at once; the probe state must be internally synchronised. Run under -race.
+func TestCoarseMonitorConcurrentReaders(t *testing.T) {
+	tr, err := Generate(Catalog()[0], 7, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewCoarseMonitor(tr, 500, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const reads = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(offset float64) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				w := mon.EstimateMbps(offset + float64(i)*7.3)
+				if w <= 0 {
+					t.Errorf("non-positive estimate %v", w)
+					return
+				}
+			}
+		}(float64(g) * 113)
+	}
+	wg.Wait()
+}
+
+// Within one probe slot the monitor must return a stable value even when the
+// slot is first touched by a racing reader.
+func TestCoarseMonitorStaleWithinSlot(t *testing.T) {
+	tr, err := Generate(Catalog()[1], 3, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewCoarseMonitor(tr, 1000, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mon.EstimateMbps(1500)
+	for _, tms := range []float64{1501, 1700, 1999} {
+		if got := mon.EstimateMbps(tms); math.Abs(got-first) > 0 {
+			t.Fatalf("estimate changed inside one probe slot: %v vs %v", got, first)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+
+	"cadmc/internal/tensor"
+)
+
+// ForwardBatch runs a batch of inputs through the whole network in one
+// batched pass. It is the serving gateway's amortised entry point: see
+// ForwardRangeBatch for the execution strategy.
+func (n *Net) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return n.ForwardRangeBatch(xs, 0, len(n.Model.Layers))
+}
+
+// ForwardRangeBatch runs layers [from, to) over a batch of activations and
+// returns one output per input, bit-identical to running ForwardRange on
+// each input alone.
+//
+// The iteration order is layer-outer, sample-inner: one layer's weights are
+// streamed from memory once and reused across the whole batch instead of
+// once per request, which is where micro-batching pays on a memory-bound
+// edge device. Fully-connected layers — the worst offenders, their weight
+// matrices dwarf any activation — additionally take a dedicated batched
+// kernel that walks each weight row exactly once per batch.
+func (n *Net) ForwardRangeBatch(xs []*tensor.Tensor, from, to int) ([]*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("nn: batched forward over an empty batch")
+	}
+	if from < 0 || to > len(n.Model.Layers) || from > to {
+		return nil, fmt.Errorf("nn: forward range [%d,%d) invalid for %d layers", from, to, len(n.Model.Layers))
+	}
+	for b, x := range xs {
+		if x == nil {
+			return nil, fmt.Errorf("nn: batched forward: nil input at batch index %d", b)
+		}
+	}
+	cur := append([]*tensor.Tensor(nil), xs...)
+	// outs[b][i] is sample b's activation after layer i, for residual skips.
+	outs := make([][]*tensor.Tensor, len(xs))
+	for b := range outs {
+		outs[b] = make([]*tensor.Tensor, len(n.Model.Layers))
+	}
+	for i := from; i < to; i++ {
+		l := n.Model.Layers[i]
+		if l.Type == FC {
+			ys, err := fcForwardBatch(n.Weights[i], n.Biases[i], cur)
+			if err != nil {
+				return nil, fmt.Errorf("nn: batched forward layer %d (%s): %w", i, l.Type, err)
+			}
+			for b := range cur {
+				outs[b][i] = ys[b]
+				cur[b] = ys[b]
+			}
+			continue
+		}
+		for b := range cur {
+			b := b
+			res, err := n.applyLayer(i, cur[b], func(src int) (*tensor.Tensor, error) {
+				if src == from-1 {
+					return xs[b], nil
+				}
+				if src < from {
+					return nil, fmt.Errorf("skip source %d precedes range start %d", src, from)
+				}
+				return outs[b][src], nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("nn: batched forward layer %d (%s): %w", i, l.Type, err)
+			}
+			outs[b][i] = res.out
+			cur[b] = res.out
+		}
+	}
+	return cur, nil
+}
+
+// fcForwardBatch computes y_b = W·x_b + bias for every sample with a
+// row-outer loop: each weight row is loaded once per batch rather than once
+// per sample, turning B memory-bound matrix-vector products into one
+// weight-streaming pass. The per-sample accumulation order matches
+// fcForward exactly, so results are bit-identical to the unbatched path.
+func fcForwardBatch(w, b *tensor.Tensor, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	out, in := w.Shape[0], w.Shape[1]
+	ys := make([]*tensor.Tensor, len(xs))
+	for bi, x := range xs {
+		if x.Len() != in {
+			return nil, fmt.Errorf("fc input len %d at batch index %d, want %d", x.Len(), bi, in)
+		}
+		ys[bi] = tensor.New(out, 1, 1)
+	}
+	for o := 0; o < out; o++ {
+		row := w.Data[o*in : (o+1)*in]
+		bias := b.Data[o]
+		for bi, x := range xs {
+			s := bias
+			for j, v := range x.Data {
+				s += row[j] * v
+			}
+			ys[bi].Data[o] = s
+		}
+	}
+	return ys, nil
+}

@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"cadmc/internal/tensor"
+)
+
+func batchTestNet(t *testing.T, seed int64) *Net {
+	t.Helper()
+	m := &Model{
+		Name:    "batchnet",
+		Input:   Shape{C: 3, H: 12, W: 12},
+		Classes: 5,
+		Layers: []Layer{
+			NewConv(3, 6, 3, 1, 1),
+			NewReLU(),
+			NewMaxPool(2, 2),
+			NewConv(6, 8, 3, 1, 1),
+			NewReLU(),
+			NewFlatten(),
+			NewFC(8*6*6, 24),
+			NewReLU(),
+			NewFC(24, 5),
+		},
+	}
+	net, err := NewNet(m, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// The batched pass must be bit-identical to running each sample alone —
+// the gateway's correctness story is "batching changes throughput, never
+// results".
+func TestForwardBatchMatchesSequentialExactly(t *testing.T) {
+	net := batchTestNet(t, 77)
+	rng := rand.New(rand.NewSource(78))
+	for _, batch := range []int{1, 2, 5, 9} {
+		xs := make([]*tensor.Tensor, batch)
+		for i := range xs {
+			xs[i] = tensor.Randn(rng, 1, 3, 12, 12)
+		}
+		got, err := net.ForwardBatch(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range xs {
+			want, err := net.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got[i].Data) != len(want.Data) {
+				t.Fatalf("batch %d sample %d: length %d vs %d", batch, i, len(got[i].Data), len(want.Data))
+			}
+			for j := range want.Data {
+				if got[i].Data[j] != want.Data[j] { //cadmc:allow floateq — bit-exactness is the contract under test
+					t.Fatalf("batch %d sample %d logit %d: %v vs %v", batch, i, j, got[i].Data[j], want.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// The split form used by the gateway: the edge prefix runs batched, and the
+// resulting activations must agree with the unbatched ForwardRange at every
+// legal cut.
+func TestForwardRangeBatchMatchesAtEveryCut(t *testing.T) {
+	net := batchTestNet(t, 79)
+	rng := rand.New(rand.NewSource(80))
+	xs := make([]*tensor.Tensor, 4)
+	for i := range xs {
+		xs[i] = tensor.Randn(rng, 1, 3, 12, 12)
+	}
+	n := len(net.Model.Layers)
+	for cut := 0; cut < n; cut++ {
+		acts, err := net.ForwardRangeBatch(xs, 0, cut+1)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for i, x := range xs {
+			want, err := net.ForwardRange(x, 0, cut+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want.Data {
+				if acts[i].Data[j] != want.Data[j] { //cadmc:allow floateq — bit-exactness is the contract under test
+					t.Fatalf("cut %d sample %d elem %d differs", cut, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Residual models exercise the skip-resolution path of the batched loop.
+func TestForwardBatchResidual(t *testing.T) {
+	m := &Model{
+		Name:    "batch-res",
+		Input:   Shape{C: 4, H: 8, W: 8},
+		Classes: 3,
+		Layers: []Layer{
+			NewConv(4, 4, 3, 1, 1),
+			NewReLU(),
+			NewConv(4, 4, 3, 1, 1),
+			{Type: Add, SkipFrom: 1, In: 4},
+			NewReLU(),
+			NewFlatten(),
+			NewFC(4*8*8, 3),
+		},
+	}
+	net, err := NewNet(m, rand.New(rand.NewSource(81)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(82))
+	xs := []*tensor.Tensor{
+		tensor.Randn(rng, 1, 4, 8, 8),
+		tensor.Randn(rng, 1, 4, 8, 8),
+		tensor.Randn(rng, 1, 4, 8, 8),
+	}
+	got, err := net.ForwardBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		want, err := net.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Data {
+			if got[i].Data[j] != want.Data[j] { //cadmc:allow floateq — bit-exactness is the contract under test
+				t.Fatalf("sample %d elem %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestForwardBatchErrors(t *testing.T) {
+	net := batchTestNet(t, 83)
+	if _, err := net.ForwardBatch(nil); err == nil {
+		t.Fatal("expected empty-batch error")
+	}
+	rng := rand.New(rand.NewSource(84))
+	if _, err := net.ForwardRangeBatch([]*tensor.Tensor{tensor.Randn(rng, 1, 3, 12, 12)}, 0, 99); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := net.ForwardBatch([]*tensor.Tensor{nil}); err == nil {
+		t.Fatal("expected nil-input error")
+	}
+	// A shape mismatch inside the batch must fail, not panic.
+	bad := []*tensor.Tensor{tensor.Randn(rng, 1, 3, 12, 12), tensor.Randn(rng, 1, 2, 4, 4)}
+	if _, err := net.ForwardBatch(bad); err == nil {
+		t.Fatal("expected shape error")
+	}
+}

@@ -51,6 +51,26 @@ type SplitStats struct {
 	EdgeOnly  int64
 	Offloaded int64
 	Fallbacks int64
+	// InFlight counts requests currently inside Infer/InferBatch: admitted
+	// to the executor but not yet completed or failed. A drained executor
+	// reports zero.
+	InFlight int64
+}
+
+// Add accumulates other into s — the gateway sums per-worker executors into
+// one per-route view.
+func (s *SplitStats) Add(other SplitStats) {
+	s.Inferences += other.Inferences
+	s.EdgeOnly += other.EdgeOnly
+	s.Offloaded += other.Offloaded
+	s.Fallbacks += other.Fallbacks
+	s.InFlight += other.InFlight
+}
+
+// String renders the one-line summary cmd/emulate and cmd/loadgen print.
+func (s SplitStats) String() string {
+	return fmt.Sprintf("%d inferences (%d offloaded, %d edge-only, %d fallback), %d in flight",
+		s.Inferences, s.Offloaded, s.EdgeOnly, s.Fallbacks, s.InFlight)
 }
 
 // SplitExecutor runs partitioned inference for one executable model: the
@@ -97,6 +117,20 @@ func (e *SplitExecutor) record(r Route) {
 	}
 }
 
+// beginRequests/endRequests bracket the in-flight window of n requests;
+// endRequests runs on every exit path, error or not.
+func (e *SplitExecutor) beginRequests(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.InFlight += int64(n)
+}
+
+func (e *SplitExecutor) endRequests(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.InFlight -= int64(n)
+}
+
 // offloadUnavailable classifies errors that mean "the channel cannot serve
 // this request", as opposed to the request itself being invalid.
 func offloadUnavailable(err error) bool {
@@ -114,13 +148,11 @@ func (e *SplitExecutor) Infer(x *tensor.Tensor, cut int) ([]float64, error) {
 
 // InferRoute is Infer plus the route the inference actually took.
 func (e *SplitExecutor) InferRoute(x *tensor.Tensor, cut int) ([]float64, Route, error) {
-	if e.Edge == nil {
-		return nil, 0, errors.New("serving: split executor without an edge model")
+	if err := e.checkCut(cut); err != nil {
+		return nil, 0, err
 	}
-	n := len(e.Edge.Model.Layers)
-	if cut < -1 || cut >= n {
-		return nil, 0, fmt.Errorf("serving: cut %d out of range [-1,%d)", cut, n)
-	}
+	e.beginRequests(1)
+	defer e.endRequests(1)
 	act := x
 	if cut >= 0 {
 		var err error
@@ -129,7 +161,25 @@ func (e *SplitExecutor) InferRoute(x *tensor.Tensor, cut int) ([]float64, Route,
 			return nil, 0, err
 		}
 	}
-	if cut == n-1 {
+	return e.completeAct(act, cut)
+}
+
+// checkCut validates the executor and cut before any work is admitted.
+func (e *SplitExecutor) checkCut(cut int) error {
+	if e.Edge == nil {
+		return errors.New("serving: split executor without an edge model")
+	}
+	if n := len(e.Edge.Model.Layers); cut < -1 || cut >= n {
+		return fmt.Errorf("serving: cut %d out of range [-1,%d)", cut, n)
+	}
+	return nil
+}
+
+// completeAct finishes one inference whose edge prefix already produced act:
+// edge-only when the cut keeps everything local, otherwise offload with the
+// configured fallback policy.
+func (e *SplitExecutor) completeAct(act *tensor.Tensor, cut int) ([]float64, Route, error) {
+	if cut == len(e.Edge.Model.Layers)-1 {
 		e.record(RouteEdgeOnly)
 		return append([]float64(nil), act.Data...), RouteEdgeOnly, nil
 	}

@@ -31,4 +31,7 @@ go test -race -count=2 ./internal/faultnet
 go test -race -count=2 -run 'Resilient|Breaker|Live|Client|Split|Server' \
     ./internal/serving ./internal/emulator
 
+echo "== gateway soak (-count=2: hot-swaps must be lossless and race-clean)"
+go test -race -count=2 -run 'Gateway' ./internal/gateway ./internal/emulator
+
 echo "all checks passed"
