@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet check chaos bench bench-gateway
+.PHONY: build test race vet check chaos bench bench-gateway bench-kernels
 
 build:
 	go build ./...
@@ -32,3 +32,10 @@ bench:
 # offload channel. Writes BENCH_gateway.json.
 bench-gateway:
 	go run ./cmd/loadgen -requests 128 -workers 8 -batch 8 -latency-ms 5 -out BENCH_gateway.json
+
+# Compute-kernel benchmark: serial vs worker-pool vs worker-pool+arena for
+# MatMul, Conv2D, the batched forward pass and report.Evaluate. Writes
+# BENCH_kernels.json with the execution environment (GOMAXPROCS, NumCPU)
+# embedded — the speedup columns only mean something on a multi-core box.
+bench-kernels:
+	go run ./cmd/kernbench -benchtime 1s -out BENCH_kernels.json

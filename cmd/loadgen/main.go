@@ -29,6 +29,7 @@ import (
 
 	"cadmc/internal/faultnet"
 	"cadmc/internal/gateway"
+	"cadmc/internal/parallel"
 	"cadmc/internal/serving"
 	"cadmc/internal/tensor"
 )
@@ -66,16 +67,17 @@ type overloadStats struct {
 }
 
 type benchReport struct {
-	GeneratedAt     string        `json:"generated_at"`
-	Workers         int           `json:"workers"`
-	MaxBatch        int           `json:"max_batch"`
-	LatencyMS       float64       `json:"offload_latency_ms"`
-	Baseline        phaseStats    `json:"baseline_unbatched"`
-	Gateway         phaseStats    `json:"gateway_batched"`
-	Speedup         float64       `json:"batched_vs_unbatched_speedup"`
-	GatewayBatches  int64         `json:"gateway_batches"`
-	GatewayMeanSize float64       `json:"gateway_mean_batch"`
-	Overload        overloadStats `json:"overload"`
+	GeneratedAt     string           `json:"generated_at"`
+	Env             parallel.EnvInfo `json:"env"`
+	Workers         int              `json:"workers"`
+	MaxBatch        int              `json:"max_batch"`
+	LatencyMS       float64          `json:"offload_latency_ms"`
+	Baseline        phaseStats       `json:"baseline_unbatched"`
+	Gateway         phaseStats       `json:"gateway_batched"`
+	Speedup         float64          `json:"batched_vs_unbatched_speedup"`
+	GatewayBatches  int64            `json:"gateway_batches"`
+	GatewayMeanSize float64          `json:"gateway_mean_batch"`
+	Overload        overloadStats    `json:"overload"`
 }
 
 // bench is the shared test rig: an in-process cloud server plus the demo
@@ -314,6 +316,7 @@ func run(requests, workers, maxBatch int, latencyMS float64, seed int64, out str
 
 	report := benchReport{
 		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		Env:             parallel.Env(),
 		Workers:         workers,
 		MaxBatch:        maxBatch,
 		LatencyMS:       latencyMS,

@@ -10,7 +10,9 @@ import (
 // must be joinable, or Close/Wait cannot drain and the emulator leaks. A
 // launch counts as tracked when the spawned work (the go statement's call,
 // its arguments, or its function-literal body) references a sync.WaitGroup
-// or signals on a channel (send, close or receive). Anything else —
+// or signals on a channel (send, close, receive, or a range loop over a
+// channel — the worker-pool shape, whose lifetime ends when the channel is
+// closed). Anything else —
 // including `go fn()` where the body is out of view — is flagged; a
 // reviewed fire-and-forget site can carry //cadmc:allow nakedgo.
 var NakedGo = &Analyzer{
@@ -51,6 +53,13 @@ func goStmtTracked(pass *Pass, g *ast.GoStmt) bool {
 		case *ast.UnaryExpr:
 			// Channel receive: blocking on a done/limit channel.
 			if ch := pass.Info.Types[node.X].Type; node.Op.String() == "<-" && isChan(ch) {
+				tracked = true
+			}
+		case *ast.RangeStmt:
+			// Range over a channel: the worker-pool idiom. The goroutine
+			// drains tasks until the channel is closed, so its lifetime is
+			// bounded by the channel's.
+			if isChan(pass.Info.Types[node.X].Type) {
 				tracked = true
 			}
 		case *ast.CallExpr:

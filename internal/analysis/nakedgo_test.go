@@ -12,11 +12,17 @@ func launch() {
 	go func() {
 		work()
 	}()
+	go func() {
+		for _, i := range []int{1, 2} {
+			_ = i
+		}
+	}()
 }
 `
 	checkAnalyzer(t, NakedGo, "cadmc/internal/fx", src, []want{
 		{line: 6, message: "no WaitGroup or done-channel tracking"},
 		{line: 7, message: "no WaitGroup or done-channel tracking"},
+		{line: 10, message: "no WaitGroup or done-channel tracking"},
 	})
 }
 
@@ -52,6 +58,16 @@ func sendOnChannel() <-chan int {
 		out <- 1
 	}()
 	return out
+}
+
+func poolWorker() chan func() {
+	tasks := make(chan func())
+	go func() {
+		for f := range tasks {
+			f()
+		}
+	}()
+	return tasks
 }
 
 func reviewed() {

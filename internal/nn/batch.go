@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"cadmc/internal/parallel"
 	"cadmc/internal/tensor"
 )
 
@@ -41,6 +42,13 @@ func (n *Net) ForwardRangeBatch(xs []*tensor.Tensor, from, to int) ([]*tensor.Te
 	for b := range outs {
 		outs[b] = make([]*tensor.Tensor, len(n.Model.Layers))
 	}
+	// Non-FC layers run batch-parallel on the worker pool: samples are
+	// independent (layers read shared weights and write fresh activations),
+	// and each sample's arithmetic is untouched, so batched logits stay
+	// bit-identical to the serial path at any GOMAXPROCS. results and errs
+	// are indexed per sample; chunks never overlap.
+	results := make([]layerResult, len(xs))
+	errs := make([]error, len(xs))
 	for i := from; i < to; i++ {
 		l := n.Model.Layers[i]
 		if l.Type == FC {
@@ -54,22 +62,25 @@ func (n *Net) ForwardRangeBatch(xs []*tensor.Tensor, from, to int) ([]*tensor.Te
 			}
 			continue
 		}
-		for b := range cur {
-			b := b
-			res, err := n.applyLayer(i, cur[b], func(src int) (*tensor.Tensor, error) {
-				if src == from-1 {
-					return xs[b], nil
-				}
-				if src < from {
-					return nil, fmt.Errorf("skip source %d precedes range start %d", src, from)
-				}
-				return outs[b][src], nil
-			})
-			if err != nil {
-				return nil, fmt.Errorf("nn: batched forward layer %d (%s): %w", i, l.Type, err)
+		parallel.For(len(cur), 1, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				results[b], errs[b] = n.applyLayer(i, cur[b], func(src int) (*tensor.Tensor, error) {
+					if src == from-1 {
+						return xs[b], nil
+					}
+					if src < from {
+						return nil, fmt.Errorf("skip source %d precedes range start %d", src, from)
+					}
+					return outs[b][src], nil
+				})
 			}
-			outs[b][i] = res.out
-			cur[b] = res.out
+		})
+		for b := range cur {
+			if errs[b] != nil {
+				return nil, fmt.Errorf("nn: batched forward layer %d (%s): %w", i, l.Type, errs[b])
+			}
+			outs[b][i] = results[b].out
+			cur[b] = results[b].out
 		}
 	}
 	return cur, nil
@@ -89,16 +100,23 @@ func fcForwardBatch(w, b *tensor.Tensor, xs []*tensor.Tensor) ([]*tensor.Tensor,
 		}
 		ys[bi] = tensor.New(out, 1, 1)
 	}
-	for o := 0; o < out; o++ {
-		row := w.Data[o*in : (o+1)*in]
-		bias := b.Data[o]
-		for bi, x := range xs {
-			s := bias
-			for j, v := range x.Data {
-				s += row[j] * v
+	// Row-partitioned across the pool: each executor streams its own slice
+	// of weight rows over the whole batch, keeping the one-weight-pass
+	// amortisation while using every core. A given (row, sample) dot
+	// product is still a single serial accumulation — bit-identical to the
+	// unbatched path.
+	parallel.For(out, parallel.Grain(out, 2*in*len(xs)), func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			row := w.Data[o*in : (o+1)*in]
+			bias := b.Data[o]
+			for bi, x := range xs {
+				s := bias
+				for j, v := range x.Data {
+					s += row[j] * v
+				}
+				ys[bi].Data[o] = s
 			}
-			ys[bi].Data[o] = s
 		}
-	}
+	})
 	return ys, nil
 }

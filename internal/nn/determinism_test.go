@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"cadmc/internal/tensor"
+)
+
+// These tests pin GOMAXPROCS to several values and demand bit-identical
+// results from the parallelised forward, batched forward and training paths.
+// Exact float comparisons are the point: internal/parallel's row
+// partitioning must never perturb any summation order.
+
+func atProcs(t *testing.T, procs int, fn func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+func assertTensorBits(t *testing.T, label string, a, b *tensor.Tensor) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: length %d vs %d", label, a.Len(), b.Len())
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] { //cadmc:allow floateq — bit-exactness is the contract under test
+			t.Fatalf("%s: element %d differs: %v vs %v", label, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func detBatch(rng *rand.Rand, m *Model, n int) []*tensor.Tensor {
+	xs := make([]*tensor.Tensor, n)
+	for i := range xs {
+		xs[i] = tensor.Randn(rng, 1, m.Input.C, m.Input.H, m.Input.W)
+	}
+	return xs
+}
+
+// TestForwardBatchDeterminismAcrossProcs checks that batched inference is
+// bit-identical to per-sample serial inference at every GOMAXPROCS.
+func TestForwardBatchDeterminismAcrossProcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net, err := NewNet(tinyExecModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := detBatch(rng, net.Model, 9)
+	ref := make([]*tensor.Tensor, len(xs))
+	atProcs(t, 1, func() {
+		for i, x := range xs {
+			if ref[i], err = net.Forward(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	for _, procs := range []int{1, 2, 4, 8} {
+		atProcs(t, procs, func() {
+			ys, err := net.ForwardBatch(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ys {
+				assertTensorBits(t, "ForwardBatch logits", ref[i], ys[i])
+			}
+		})
+	}
+}
+
+// TestTrainingStepDeterminismAcrossProcs runs full training steps (forward,
+// backward, SGD update) on identically-seeded nets under different
+// GOMAXPROCS and demands bit-identical weights afterwards.
+func TestTrainingStepDeterminismAcrossProcs(t *testing.T) {
+	train := func() *Net {
+		rng := rand.New(rand.NewSource(22))
+		net, err := NewNet(tinyExecModel(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := detBatch(rng, net.Model, 6)
+		g := net.NewGrads()
+		for i, x := range xs {
+			if _, err := net.TrainSample(x, i%net.Model.Classes, nil, g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Step(g, 0.01, len(xs))
+		return net
+	}
+	var ref *Net
+	atProcs(t, 1, func() { ref = train() })
+	for _, procs := range []int{2, 4, 8} {
+		atProcs(t, procs, func() {
+			got := train()
+			for i := range ref.Weights {
+				if ref.Weights[i] == nil {
+					continue
+				}
+				assertTensorBits(t, "weights", ref.Weights[i], got.Weights[i])
+				assertTensorBits(t, "biases", ref.Biases[i], got.Biases[i])
+			}
+		})
+	}
+}

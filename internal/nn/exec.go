@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"cadmc/internal/parallel"
 	"cadmc/internal/tensor"
 )
 
@@ -118,7 +119,7 @@ func NewNet(m *Model, rng *rand.Rand) (*Net, error) {
 // forwardCache holds per-layer activations for the backward pass.
 type forwardCache struct {
 	inputs []*tensor.Tensor // input to each layer (== output of the previous)
-	pools  []*tensor.Tensor // argmax maps for MaxPool layers
+	pools  [][]int          // argmax maps for MaxPool layers
 	fires  map[int]*fireCache
 	output *tensor.Tensor
 }
@@ -178,8 +179,8 @@ func (n *Net) ForwardRange(x *tensor.Tensor, from, to int) (*tensor.Tensor, erro
 // layerResult carries one layer's forward outputs.
 type layerResult struct {
 	out  *tensor.Tensor
-	pool *tensor.Tensor // MaxPool argmax
-	fire *fireCache     // Fire intermediates
+	pool []int      // MaxPool argmax
+	fire *fireCache // Fire intermediates
 }
 
 // applyLayer executes one layer. skip resolves a residual source activation
@@ -247,7 +248,7 @@ func (n *Net) applyLayer(i int, cur *tensor.Tensor, skip func(int) (*tensor.Tens
 func (n *Net) forward(x *tensor.Tensor) (*forwardCache, error) {
 	cache := &forwardCache{
 		inputs: make([]*tensor.Tensor, len(n.Model.Layers)),
-		pools:  make([]*tensor.Tensor, len(n.Model.Layers)),
+		pools:  make([][]int, len(n.Model.Layers)),
 		fires:  make(map[int]*fireCache),
 	}
 	outs := make([]*tensor.Tensor, len(n.Model.Layers))
@@ -390,14 +391,19 @@ func fcForward(w, b, x *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("fc input len %d, want %d", x.Len(), in)
 	}
 	y := tensor.New(out, 1, 1)
-	for o := 0; o < out; o++ {
-		row := w.Data[o*in : (o+1)*in]
-		s := b.Data[o]
-		for j, v := range x.Data {
-			s += row[j] * v
+	// Row-partitioned matvec: each output neuron's dot product is computed
+	// whole by one executor, so the summation order matches the serial loop
+	// exactly at any worker count.
+	parallel.For(out, parallel.Grain(out, 2*in), func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			row := w.Data[o*in : (o+1)*in]
+			s := b.Data[o]
+			for j, v := range x.Data {
+				s += row[j] * v
+			}
+			y.Data[o] = s
 		}
-		y.Data[o] = s
-	}
+	})
 	return y, nil
 }
 
@@ -599,29 +605,36 @@ func (n *Net) fireBackward(i int, l Layer, in *tensor.Tensor, fc *fireCache, gra
 
 // convBackwardGeneric backpropagates a convolution given its input, weights
 // and output gradient, accumulating into gw/gb and returning the input
-// gradient.
+// gradient. All five transient matrices — the unfolded columns, both
+// transposes, the weight-gradient delta and the column gradient — come from
+// the scratch arena, so a steady training loop reuses the same buffers
+// every step instead of allocating them.
 func convBackwardGeneric(in, weights, gradOut *tensor.Tensor, cs tensor.ConvShape, gw, gb *tensor.Tensor) (*tensor.Tensor, error) {
 	outH, outW := cs.OutHW()
-	cols, err := tensor.Im2Col(in, cs)
+	hw := outH * outW
+	kk := cs.InC * cs.Kernel * cs.Kernel
+	cols := tensor.Scratch(kk, hw)
+	defer tensor.Release(cols)
+	if err := tensor.Im2ColInto(in, cs, cols); err != nil {
+		return nil, err
+	}
+	grad2d, err := gradOut.Reshape(cs.OutC, hw)
 	if err != nil {
 		return nil, err
 	}
-	grad2d, err := gradOut.Reshape(cs.OutC, outH*outW)
-	if err != nil {
+	colsT := tensor.Scratch(hw, kk)
+	defer tensor.Release(colsT)
+	if err := tensor.TransposeInto(cols, colsT); err != nil {
 		return nil, err
 	}
-	colsT, err := tensor.Transpose(cols)
-	if err != nil {
-		return nil, err
-	}
-	gwDelta, err := tensor.MatMul(grad2d, colsT)
-	if err != nil {
+	gwDelta := tensor.Scratch(cs.OutC, kk)
+	defer tensor.Release(gwDelta)
+	if err := tensor.MatMulInto(grad2d, colsT, gwDelta); err != nil {
 		return nil, err
 	}
 	if err := gw.AddInPlace(gwDelta); err != nil {
 		return nil, err
 	}
-	hw := outH * outW
 	for c := 0; c < cs.OutC; c++ {
 		s := 0.0
 		for _, v := range grad2d.Data[c*hw : (c+1)*hw] {
@@ -629,12 +642,14 @@ func convBackwardGeneric(in, weights, gradOut *tensor.Tensor, cs tensor.ConvShap
 		}
 		gb.Data[c] += s
 	}
-	wT, err := tensor.Transpose(weights)
-	if err != nil {
+	wT := tensor.Scratch(kk, cs.OutC)
+	defer tensor.Release(wT)
+	if err := tensor.TransposeInto(weights, wT); err != nil {
 		return nil, err
 	}
-	gcols, err := tensor.MatMul(wT, grad2d)
-	if err != nil {
+	gcols := tensor.Scratch(kk, hw)
+	defer tensor.Release(gcols)
+	if err := tensor.MatMulInto(wT, grad2d, gcols); err != nil {
 		return nil, err
 	}
 	return tensor.Col2Im(gcols, cs)

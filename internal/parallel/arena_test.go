@@ -1,0 +1,78 @@
+package parallel
+
+import "testing"
+
+func TestArenaGetZeroedAndBucketed(t *testing.T) {
+	s := GetF64(100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d, want 100", len(s))
+	}
+	if cap(s) != 128 {
+		t.Fatalf("cap = %d, want next power of two 128", cap(s))
+	}
+	for i := range s {
+		s[i] = float64(i + 1)
+	}
+	PutF64(s)
+	r := GetF64(90) // same bucket: must come back zeroed
+	if cap(r) != 128 {
+		t.Fatalf("recycled cap = %d, want 128", cap(r))
+	}
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("recycled slice dirty at %d: %v", i, v)
+		}
+	}
+	PutF64(r)
+}
+
+func TestArenaReuseCounted(t *testing.T) {
+	h0, _ := ArenaStats()
+	a := GetF64(1 << 10)
+	PutF64(a)
+	b := GetF64(1 << 10)
+	PutF64(b)
+	h1, _ := ArenaStats()
+	if h1 <= h0 {
+		t.Fatalf("put/get cycle produced no arena hit (hits %d -> %d)", h0, h1)
+	}
+}
+
+func TestArenaBypasses(t *testing.T) {
+	if s := GetF64(0); s != nil {
+		t.Fatalf("GetF64(0) = %v, want nil", s)
+	}
+	small := GetF64(8) // below the smallest bucket: plain allocation
+	if cap(small) != 8 {
+		t.Fatalf("sub-bucket request should not be rounded: cap %d", cap(small))
+	}
+	PutF64(small) // must be ignored, not filed (cap 8 < min bucket)
+
+	// Non-power-of-two capacities (foreign slices) are never filed.
+	foreign := make([]float64, 100)
+	PutF64(foreign)
+	got := GetF64(100)
+	if cap(got) == 100 {
+		t.Fatal("foreign non-power-of-two slice was recycled")
+	}
+	PutF64(got)
+}
+
+func TestArenaDisable(t *testing.T) {
+	prev := SetArena(false)
+	defer SetArena(prev)
+	if ArenaEnabled() {
+		t.Fatal("SetArena(false) left the arena enabled")
+	}
+	s := GetF64(1 << 10)
+	if cap(s) != 1<<10 {
+		t.Fatalf("disabled arena must allocate exactly: cap %d", cap(s))
+	}
+	PutF64(s) // dropped
+	r := GetF64(1 << 10)
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("disabled arena returned dirty memory at %d: %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package parallel
+
+import "runtime"
+
+// EnvInfo records the execution environment a benchmark ran under. Speedup
+// numbers are meaningless without it: a parallel-vs-serial ratio measured at
+// GOMAXPROCS=1 says nothing about a multi-core deployment, so every BENCH_*
+// artefact embeds one of these.
+type EnvInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// Env captures the current process's execution environment.
+func Env() EnvInfo {
+	return EnvInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"testing"
+
+	"cadmc/internal/emulator"
+	"cadmc/internal/parallel"
+)
+
+// BenchmarkEvaluate times the report pipeline over two scenarios with small
+// training budgets — enough work for the scenario fan-out to matter. The
+// serial mode pins the pool off; parallel lets scenarios and kernels share
+// the worker pool.
+func BenchmarkEvaluate(b *testing.B) {
+	opts := emulator.DefaultTrainOptions()
+	opts.TreeEpisodes = 8
+	opts.BranchEpisodes = 8
+	opts.TraceMS = 60_000
+	specs := []emulator.ScenarioSpec{
+		{ModelName: "AlexNet", DeviceName: "Phone", EnvName: "4G indoor static", TraceSeed: 3},
+		{ModelName: "VGG11", DeviceName: "Phone", EnvName: "WiFi (weak) indoor", TraceSeed: 5},
+	}
+	for _, m := range []struct {
+		name   string
+		serial bool
+	}{
+		{"serial", true},
+		{"parallel", false},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			prev := parallel.SetSerial(m.serial)
+			defer parallel.SetSerial(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Evaluate(specs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"runtime"
+	"testing"
+
+	"cadmc/internal/emulator"
+)
+
+// TestEvaluateDeterminismAcrossProcs trains one paper scenario end to end
+// (RL training, emulation replay, field replay) at different GOMAXPROCS
+// settings and demands bit-identical numbers. The whole pipeline rides on
+// internal/parallel, so this is the top-level check that fanning scenarios
+// and kernels across cores never changes a reported table entry. Exact
+// float comparisons are the point.
+func TestEvaluateDeterminismAcrossProcs(t *testing.T) {
+	opts := emulator.DefaultTrainOptions()
+	opts.TreeEpisodes = 8
+	opts.BranchEpisodes = 8
+	opts.TraceMS = 60_000
+	specs := []emulator.ScenarioSpec{
+		{ModelName: "AlexNet", DeviceName: "Phone", EnvName: "4G indoor static", TraceSeed: 3},
+	}
+	run := func() *Evaluation {
+		ev, err := Evaluate(specs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	atProcs := func(procs int, fn func()) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		fn()
+	}
+	var ref *Evaluation
+	atProcs(1, func() { ref = run() })
+	for _, procs := range []int{2, 4} {
+		atProcs(procs, func() {
+			got := run()
+			r, g := ref.Trained[0], got.Trained[0]
+			for _, c := range [][3]float64{
+				{r.SurgeryReward, g.SurgeryReward, 0},
+				{r.BranchReward, g.BranchReward, 1},
+				{r.TreeReward, g.TreeReward, 2},
+			} {
+				if c[0] != c[1] { //cadmc:allow floateq — bit-exactness is the contract under test
+					t.Fatalf("procs=%d training reward %v differs: %v vs %v", procs, c[2], c[0], c[1])
+				}
+			}
+			for mode, pair := range map[string][2][]emulator.Result{
+				"emulation": {ref.Emu[0], got.Emu[0]},
+				"field":     {ref.Field[0], got.Field[0]},
+			} {
+				for i := range pair[0] {
+					if pair[0][i] != pair[1][i] { //cadmc:allow floateq — bit-exactness is the contract under test
+						t.Fatalf("procs=%d %s result %d differs:\n%+v\n%+v", procs, mode, i, pair[0][i], pair[1][i])
+					}
+				}
+			}
+		})
+	}
+}

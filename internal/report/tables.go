@@ -2,11 +2,10 @@ package report
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"cadmc/internal/emulator"
+	"cadmc/internal/parallel"
 )
 
 // paperTableIII holds the published offline training rewards, keyed by
@@ -75,8 +74,9 @@ type Evaluation struct {
 
 // Evaluate trains every paper scenario and replays both modes. Scenarios may
 // be restricted to a subset for quick runs (nil means all 14 rows).
-// Scenarios are independent and fully deterministic, so they train on a
-// bounded worker pool; results keep the input order.
+// Scenarios are independent and fully deterministic (each seeds its own RNG),
+// so they fan out on the shared worker pool; results keep the input order
+// and are bit-identical at any worker count.
 func Evaluate(specs []emulator.ScenarioSpec, opts emulator.TrainOptions) (*Evaluation, error) {
 	if specs == nil {
 		specs = emulator.PaperScenarios()
@@ -86,43 +86,30 @@ func Evaluate(specs []emulator.ScenarioSpec, opts emulator.TrainOptions) (*Evalu
 		Emu:     make([][]emulator.Result, len(specs)),
 		Field:   make([][]emulator.Result, len(specs)),
 	}
-	workers := runtime.NumCPU()
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
 	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec emulator.ScenarioSpec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	parallel.For(len(specs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			spec := specs[i]
 			ts, err := emulator.Train(spec, opts)
 			if err != nil {
 				errs[i] = fmt.Errorf("report: train %s: %w", spec, err)
-				return
+				continue
 			}
 			emu, err := ts.Run(emulator.DefaultConfig(emulator.ModeEmulation))
 			if err != nil {
 				errs[i] = fmt.Errorf("report: emulate %s: %w", spec, err)
-				return
+				continue
 			}
 			field, err := ts.Run(emulator.DefaultConfig(emulator.ModeField))
 			if err != nil {
 				errs[i] = fmt.Errorf("report: field %s: %w", spec, err)
-				return
+				continue
 			}
 			ev.Trained[i] = ts
 			ev.Emu[i] = emu
 			ev.Field[i] = field
-		}(i, spec)
-	}
-	wg.Wait()
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

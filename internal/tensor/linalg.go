@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"cadmc/internal/parallel"
 )
 
 // SVDResult holds a rank-k truncated singular value decomposition
@@ -34,8 +36,20 @@ func TruncatedSVD(a *Tensor, k, iters int, rng *rand.Rand) (*SVDResult, error) {
 	}
 	work := a.Clone()
 	res := &SVDResult{U: New(m, k), S: make([]float64, k), V: New(n, k)}
+	// u and v are reused across components and iterations; rows hoists the
+	// work.Data[i*n:(i+1)*n] re-slicing out of the power-iteration inner
+	// loops — compression planning calls this per FC layer, and the three
+	// sweeps below each touch every row every iteration.
 	u := make([]float64, m)
 	v := make([]float64, n)
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = work.Data[i*n : (i+1)*n]
+	}
+	// The u = A·v sweep and the deflation write disjoint rows, so they run
+	// on the worker pool; the v = Aᵀ·u sweep accumulates every row into the
+	// shared v and stays serial to preserve the summation order exactly.
+	grain := parallel.Grain(m, 2*n)
 	for comp := 0; comp < k; comp++ {
 		for i := range v {
 			v[i] = rng.NormFloat64()
@@ -44,14 +58,16 @@ func TruncatedSVD(a *Tensor, k, iters int, rng *rand.Rand) (*SVDResult, error) {
 		sigma := 0.0
 		for it := 0; it < iters; it++ {
 			// u = A v
-			for i := 0; i < m; i++ {
-				row := work.Data[i*n : (i+1)*n]
-				s := 0.0
-				for j, vj := range v {
-					s += row[j] * vj
+			parallel.For(m, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					row := rows[i]
+					s := 0.0
+					for j, vj := range v {
+						s += row[j] * vj
+					}
+					u[i] = s
 				}
-				u[i] = s
-			}
+			})
 			sigma = normalize(u)
 			// v = Aᵀ u
 			for j := range v {
@@ -62,7 +78,7 @@ func TruncatedSVD(a *Tensor, k, iters int, rng *rand.Rand) (*SVDResult, error) {
 				if ui == 0 {
 					continue
 				}
-				row := work.Data[i*n : (i+1)*n]
+				row := rows[i]
 				for j := range v {
 					v[j] += row[j] * ui
 				}
@@ -81,16 +97,18 @@ func TruncatedSVD(a *Tensor, k, iters int, rng *rand.Rand) (*SVDResult, error) {
 			res.V.Data[j*k+comp] = v[j]
 		}
 		// Deflate: work -= sigma · u vᵀ.
-		for i := 0; i < m; i++ {
-			ui := u[i] * sigma
-			if ui == 0 {
-				continue
+		parallel.For(m, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ui := u[i] * sigma
+				if ui == 0 {
+					continue
+				}
+				row := rows[i]
+				for j := range v {
+					row[j] -= ui * v[j]
+				}
 			}
-			row := work.Data[i*n : (i+1)*n]
-			for j := range v {
-				row[j] -= ui * v[j]
-			}
-		}
+		})
 	}
 	return res, nil
 }

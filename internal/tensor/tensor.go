@@ -13,6 +13,8 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+
+	"cadmc/internal/parallel"
 )
 
 // Tensor is a dense, row-major float64 tensor.
@@ -163,7 +165,10 @@ func (t *Tensor) Norm() float64 {
 	return math.Sqrt(s)
 }
 
-// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n).
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n). Output rows
+// are partitioned across the parallel worker pool; each element's
+// accumulation order is the serial ikj order regardless of worker count, so
+// results are bit-exact at any GOMAXPROCS.
 func MatMul(a, b *Tensor) (*Tensor, error) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		return nil, fmt.Errorf("tensor: matmul needs rank-2 operands, got %v and %v", a.Shape, b.Shape)
@@ -174,22 +179,88 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
 	}
 	c := New(m, n)
-	// ikj loop order keeps the innermost access contiguous in both B and C.
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
+	matmulInto(a.Data, b.Data, c.Data, m, k, n)
+	return c, nil
+}
+
+// MatMulInto computes C = A·B into the preallocated dst (m×n), overwriting
+// its contents. It is the allocation-free variant behind scratch-buffer
+// reuse in the backward pass; results are identical to MatMul.
+func MatMulInto(a, b, dst *Tensor) error {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return fmt.Errorf("tensor: matmul needs rank-2 operands, got %v and %v", a.Shape, b.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
+	}
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		return fmt.Errorf("tensor: matmul dst %v, want [%d %d]", dst.Shape, m, n)
+	}
+	matmulInto(a.Data, b.Data, dst.Data, m, k, n)
+	return nil
+}
+
+// matmulInto row-partitions C across the worker pool. Each chunk owns rows
+// [lo, hi) of C exclusively, so no synchronisation is needed beyond the
+// pool's fork/join.
+func matmulInto(a, b, c []float64, m, k, n int) {
+	parallel.For(m, parallel.Grain(m, 2*k*n), func(lo, hi int) {
+		matmulRows(a, b, c, k, n, lo, hi)
+	})
+}
+
+// matmulRows computes C rows [lo, hi) with a two-row register-blocked ikj
+// kernel: each row of B is streamed from memory once per row *pair* of A,
+// halving B bandwidth versus the plain loop. Per output element the
+// products still accumulate in ascending-p order with the exact av==0 skip
+// of the serial kernel, so blocking never changes a bit of the result.
+func matmulRows(a, b, c []float64, k, n, lo, hi int) {
+	i := lo
+	for ; i+1 < hi; i += 2 {
+		r0 := a[i*k : (i+1)*k]
+		r1 := a[(i+1)*k : (i+2)*k]
+		c0 := c[i*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		clear(c0)
+		clear(c1)
 		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
+			av0, av1 := r0[p], r1[p]
+			switch {
+			case av0 != 0 && av1 != 0:
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					c0[j] += av0 * bv
+					c1[j] += av1 * bv
+				}
+			case av0 != 0:
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					c0[j] += av0 * bv
+				}
+			case av1 != 0:
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					c1[j] += av1 * bv
+				}
 			}
 		}
 	}
-	return c, nil
+	for ; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		clear(crow)
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
 }
 
 // Transpose returns the transpose of a 2-D tensor.
@@ -197,14 +268,68 @@ func Transpose(a *Tensor) (*Tensor, error) {
 	if len(a.Shape) != 2 {
 		return nil, fmt.Errorf("tensor: transpose needs rank-2 operand, got %v", a.Shape)
 	}
-	m, n := a.Shape[0], a.Shape[1]
-	t := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			t.Data[j*m+i] = a.Data[i*n+j]
-		}
-	}
+	t := New(a.Shape[1], a.Shape[0])
+	transposeInto(a, t)
 	return t, nil
+}
+
+// TransposeInto writes the transpose of a into the preallocated dst (n×m).
+func TransposeInto(a, dst *Tensor) error {
+	if len(a.Shape) != 2 {
+		return fmt.Errorf("tensor: transpose needs rank-2 operand, got %v", a.Shape)
+	}
+	if len(dst.Shape) != 2 || dst.Shape[0] != a.Shape[1] || dst.Shape[1] != a.Shape[0] {
+		return fmt.Errorf("tensor: transpose dst %v, want [%d %d]", dst.Shape, a.Shape[1], a.Shape[0])
+	}
+	transposeInto(a, dst)
+	return nil
+}
+
+// transposeInto partitions over source rows; a chunk writes column i of dst
+// for each of its rows i, so chunks touch disjoint elements.
+func transposeInto(a, dst *Tensor) {
+	m, n := a.Shape[0], a.Shape[1]
+	parallel.For(m, parallel.Grain(m, n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*n : (i+1)*n]
+			for j, v := range row {
+				dst.Data[j*m+i] = v
+			}
+		}
+	})
+}
+
+// Scratch returns a zero-filled tensor whose storage is drawn from the
+// scratch-buffer arena (internal/parallel). It behaves exactly like New;
+// the only difference is where the memory comes from. Callers that finish
+// with a scratch tensor hand its storage back via Release — transient
+// kernel buffers (im2col columns, backward-pass intermediates) go through
+// this pair so steady-state inference stops hitting the allocator.
+func Scratch(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			// Same contract as New: a negative dimension is a programming
+			// error, not a recoverable condition.
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape)) //cadmc:allow panicfree
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: parallel.GetF64(n)}
+}
+
+// Release returns t's storage to the scratch arena and nils t.Data so a
+// use-after-release fails loudly. Only tensors from Scratch should be
+// released, and never while any view (Reshape, FromSlice) of the same
+// storage is still live.
+func Release(t *Tensor) {
+	if t == nil || t.Data == nil {
+		return
+	}
+	parallel.PutF64(t.Data)
+	t.Data = nil
 }
 
 // String renders small tensors for debugging; large tensors are summarised.

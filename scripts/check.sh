@@ -34,4 +34,11 @@ go test -race -count=2 -run 'Resilient|Breaker|Live|Client|Split|Server' \
 echo "== gateway soak (-count=2: hot-swaps must be lossless and race-clean)"
 go test -race -count=2 -run 'Gateway' ./internal/gateway ./internal/emulator
 
+echo "== determinism suite (-count=2: parallel kernels must be bit-exact at any GOMAXPROCS)"
+go test -race -count=2 -run 'Determinism' \
+    ./internal/parallel ./internal/tensor ./internal/nn ./internal/report
+
+echo "== bench smoke (every benchmark must still run)"
+go test -run '^$' -bench . -benchtime 1x ./internal/tensor ./internal/nn ./internal/report
+
 echo "all checks passed"
