@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet check chaos bench bench-gateway bench-kernels
+.PHONY: build test race vet vet-json check chaos bench bench-gateway bench-kernels
 
 build:
 	go build ./...
@@ -13,7 +13,13 @@ race:
 
 vet:
 	go vet ./...
-	go run ./cmd/cadmc-vet ./...
+	go run ./cmd/cadmc-vet -baseline vet-baseline.json ./...
+
+# Regenerate the checked-in vet baseline from the current findings. Exit 1
+# (findings exist) still writes the report; a load error (exit 2) aborts.
+vet-json:
+	go run ./cmd/cadmc-vet -json ./... > vet-baseline.json; \
+	status=$$?; if [ $$status -eq 2 ]; then exit 2; fi
 
 check:
 	./scripts/check.sh

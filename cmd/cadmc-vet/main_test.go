@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,9 +30,10 @@ func repoRoot(t *testing.T) string {
 	}
 }
 
-// TestVetRepoClean is the gate's smoke test: the full analyzer suite over
-// every package of the module must report nothing. It exercises exactly
-// what `go run ./cmd/cadmc-vet ./...` runs in scripts/check.sh, so plain
+// TestVetRepoClean is the gate's smoke test: the full nine-analyzer suite,
+// with cross-package facts, over every package of the module must report
+// nothing, and the checked-in baseline must agree (no new findings, no
+// stale entries). It exercises exactly what scripts/check.sh runs, so plain
 // `go test ./...` already enforces the repo's own invariants.
 func TestVetRepoClean(t *testing.T) {
 	root := repoRoot(t)
@@ -45,18 +48,91 @@ func TestVetRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			t.Fatalf("load %s: %v", path, err)
+	suite := analysis.All()
+	if len(suite) != 9 {
+		t.Fatalf("suite has %d analyzers, want 9", len(suite))
+	}
+	diags, err := analysis.RunAll(loader, paths, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	report := analysis.NewJSONReport(loader.Module(), suite, root, diags)
+	base, err := analysis.LoadBaseline(filepath.Join(root, "vet-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := analysis.DiffBaseline(report.Findings, base.Findings)
+	for _, f := range delta.New {
+		t.Errorf("new finding not in baseline: %+v", f)
+	}
+	for _, f := range delta.Stale {
+		t.Errorf("stale baseline entry: %+v", f)
+	}
+}
+
+// TestVetRunExitCodes pins the CLI contract: 0 clean, 1 findings or
+// baseline delta, 2 usage/load error.
+func TestVetRunExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+
+	if code := vetRun([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit = %d, want 0 (%s)", code, errOut.String())
+	}
+	for _, name := range []string{"seededrand", "mapiter", "arenapair", "deadline", "walltime"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output misses %s", name)
 		}
-		diags, err := analysis.Run(pkg, analysis.All())
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
+	}
+
+	if code := vetRun([]string{"-analyzers", "nosuch", "./..."}, io.Discard, io.Discard); code != 2 {
+		t.Errorf("unknown analyzer exit = %d, want 2", code)
+	}
+	if code := vetRun([]string{"-nosuchflag"}, io.Discard, io.Discard); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := vetRun([]string{"no/such/dir"}, io.Discard, io.Discard); code != 2 {
+		t.Errorf("bad pattern exit = %d, want 2", code)
+	}
+
+	// A clean package against an empty baseline passes; against a baseline
+	// crediting a nonexistent finding, the stale entry fails the gate.
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"module":"cadmc","findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := vetRun([]string{"-baseline", empty, "internal/latency"}, io.Discard, io.Discard); code != 0 {
+		t.Errorf("clean package with empty baseline exit = %d, want 0", code)
+	}
+	stale := filepath.Join(dir, "stale.json")
+	entry := `{"module":"cadmc","findings":[{"file":"internal/latency/device.go","line":1,"column":1,"analyzer":"mapiter","message":"ghost"}]}`
+	if err := os.WriteFile(stale, []byte(entry), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var staleErr strings.Builder
+	if code := vetRun([]string{"-baseline", stale, "internal/latency"}, io.Discard, &staleErr); code != 1 {
+		t.Errorf("stale baseline exit = %d, want 1", code)
+	}
+	if !strings.Contains(staleErr.String(), "stale baseline entry") {
+		t.Errorf("stale baseline stderr = %q, want a stale-entry message", staleErr.String())
+	}
+}
+
+// TestVetRunJSON checks the machine-readable output shape end to end.
+func TestVetRunJSON(t *testing.T) {
+	var out strings.Builder
+	if code := vetRun([]string{"-json", "internal/latency"}, &out, io.Discard); code != 0 {
+		t.Fatalf("-json exit = %d (%s)", code, out.String())
+	}
+	var report analysis.JSONReport
+	if err := json.Unmarshal([]byte(out.String()), &report); err != nil {
+		t.Fatalf("output is not a JSONReport: %v\n%s", err, out.String())
+	}
+	if report.Module != "cadmc" || len(report.Analyzers) != 9 || len(report.Findings) != 0 {
+		t.Fatalf("report = %+v, want module cadmc, 9 analyzers, no findings", report)
 	}
 }
 
@@ -118,7 +194,7 @@ func TestCheckScript(t *testing.T) {
 		t.Fatal(err)
 	}
 	script := string(data)
-	for _, gate := range []string{"gofmt -l", "go vet ./...", "go build ./...", "cmd/cadmc-vet", "go test -race ./..."} {
+	for _, gate := range []string{"gofmt -l", "go vet ./...", "go build ./...", "cmd/cadmc-vet", "-baseline vet-baseline.json", "go test -race ./..."} {
 		if !strings.Contains(script, gate) {
 			t.Errorf("check.sh does not run %q", gate)
 		}

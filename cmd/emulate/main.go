@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 
 	"cadmc/internal/emulator"
 	"cadmc/internal/faultnet"
@@ -152,8 +153,13 @@ func runGateway(seed int64, sessions int) error {
 	fmt.Printf("routes: %s\n", rep.Routes)
 	fmt.Printf("latency ms: p50 %.2f | p90 %.2f | p99 %.2f | max %.2f (queue wait mean %.2f)\n",
 		rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS, rep.MeanQueueMS)
-	for sig, n := range res.SigCounts {
-		fmt.Printf("variant %-12s served %d requests\n", sig, n)
+	sigs := make([]string, 0, len(res.SigCounts))
+	for sig := range res.SigCounts {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		fmt.Printf("variant %-12s served %d requests\n", sig, res.SigCounts[sig])
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"cadmc/internal/emulator"
@@ -110,7 +111,14 @@ func run(what string, quick bool, seed int64) error {
 		{"table4", func() (string, error) { return report.RenderTableIV(ev), nil }},
 		{"table5", func() (string, error) {
 			out := report.RenderTableV(ev)
-			for model, h := range report.Headlines(ev) {
+			heads := report.Headlines(ev)
+			models := make([]string, 0, len(heads))
+			for model := range heads {
+				models = append(models, model)
+			}
+			sort.Strings(models)
+			for _, model := range models {
+				h := heads[model]
 				out += fmt.Sprintf("headline %s: %.1f%% latency reduction at %.2f%% accuracy loss (paper: 30-50%% at ~1%%)\n",
 					model, h.LatencyReductionPct, h.AccuracyLossPct)
 			}

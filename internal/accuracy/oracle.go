@@ -18,6 +18,7 @@ package accuracy
 
 import (
 	"fmt"
+	"sort"
 
 	"cadmc/internal/nn"
 )
@@ -78,8 +79,13 @@ func (o *Oracle) Validate() error {
 	if len(o.Base) == 0 {
 		return fmt.Errorf("accuracy: oracle has no base accuracies")
 	}
-	for name, a := range o.Base {
-		if a <= 0 || a > 100 {
+	names := make([]string, 0, len(o.Base))
+	for name := range o.Base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if a := o.Base[name]; a <= 0 || a > 100 {
 			return fmt.Errorf("accuracy: base accuracy for %q out of range: %v", name, a)
 		}
 	}

@@ -1,15 +1,22 @@
 // Package analysis is a stdlib-only static-analysis framework enforcing the
 // repo's own invariants: deterministic randomness, epsilon-safe float
-// comparisons, no silently dropped errors, tracked goroutines and panic-free
-// library code. It is the engine behind cmd/cadmc-vet and scripts/check.sh.
+// comparisons, no silently dropped errors, tracked goroutines, panic-free
+// library code, order-insensitive map iteration, paired arena buffers,
+// deadline-bounded connection I/O and wall-clock-free clock-injected
+// packages. It is the engine behind cmd/cadmc-vet and scripts/check.sh.
 //
 // The framework deliberately avoids golang.org/x/tools: packages are parsed
 // with go/parser and type-checked with go/types, stdlib imports resolve
 // through the source importer, and module-internal imports resolve through
-// the Loader in load.go. Analyzers are pluggable values of Analyzer; a
-// finding can be suppressed at a specific site with a
+// the Loader in load.go. Analysis runs in two phases: Export hooks attach
+// cross-package facts (FactSet, keyed by types.Object) over every loaded
+// package in dependency order, then Run passes report diagnostics — RunAll
+// fans the per-package Run phase out over the parallel worker pool with
+// input-order merging, so output is bit-identical at any worker count.
+// Analyzers are pluggable values of Analyzer; a finding can be suppressed
+// at a specific site with a
 //
-//	//cadmc:allow <analyzer>
+//	//cadmc:allow <analyzer>... [-- rationale]
 //
 // comment on the flagged line or the line directly above it.
 package analysis
@@ -44,6 +51,11 @@ type Analyzer struct {
 	// Run inspects the package in pass and reports findings via
 	// pass.Reportf.
 	Run func(pass *Pass) error
+	// Export, when set, runs before any Run pass, over every loaded package
+	// in dependency order, and attaches facts to the package's objects via
+	// pass.Facts. Export passes must not report diagnostics: cross-package
+	// facts are context, findings belong to the Run pass that consumes them.
+	Export func(pass *Pass) error
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -55,6 +67,9 @@ type Pass struct {
 	Info     *types.Info
 	// Path is the package's import path (e.g. cadmc/internal/nn).
 	Path string
+	// Facts is the cross-package fact store: written by Export passes in
+	// dependency order, read-only during Run passes.
+	Facts *FactSet
 
 	allows map[allowKey]bool
 	diags  *[]Diagnostic
@@ -97,7 +112,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // allowPrefix introduces a suppression comment: //cadmc:allow <analyzer>.
 const allowPrefix = "cadmc:allow"
 
-// collectAllows scans file comments for suppression directives.
+// collectAllows scans file comments for suppression directives. A directive
+// names one or more analyzers separated by spaces; everything after a "--"
+// token is a free-form rationale and is not parsed as analyzer names:
+//
+//	//cadmc:allow mapiter walltime -- replay trace, order is pinned upstream
 func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 	allows := make(map[allowKey]bool)
 	for _, f := range files {
@@ -111,6 +130,9 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
 				pos := fset.Position(c.Pos())
 				for _, name := range strings.Fields(rest) {
+					if name == "--" {
+						break
+					}
 					allows[allowKey{pos.Filename, pos.Line, name}] = true
 				}
 			}
@@ -127,10 +149,16 @@ func All() []*Analyzer {
 		DroppedErr,
 		NakedGo,
 		PanicFree,
+		MapIter,
+		ArenaPair,
+		Deadline,
+		WallTime,
 	}
 }
 
 // ByName resolves a comma-separated analyzer selection; empty selects all.
+// Duplicate names are rejected: running one analyzer twice double-reports
+// every finding, which is never what a selection means.
 func ByName(names string) ([]*Analyzer, error) {
 	if strings.TrimSpace(names) == "" {
 		return All(), nil
@@ -139,6 +167,7 @@ func ByName(names string) ([]*Analyzer, error) {
 	for _, a := range All() {
 		byName[a.Name] = a
 	}
+	seen := make(map[string]bool)
 	var out []*Analyzer
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
@@ -146,14 +175,44 @@ func ByName(names string) ([]*Analyzer, error) {
 		if a == nil {
 			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
 		}
+		if seen[name] {
+			return nil, fmt.Errorf("analysis: analyzer %q selected twice", name)
+		}
+		seen[name] = true
 		out = append(out, a)
 	}
 	return out, nil
 }
 
-// Run applies every analyzer in suite to the loaded package and returns the
-// findings sorted by position.
-func Run(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
+// exportFacts runs every fact-exporting analyzer in suite over pkg,
+// populating facts. Export passes get a discarded diagnostics sink: facts
+// passes describe code, they never report it.
+func exportFacts(pkg *Package, suite []*Analyzer, facts *FactSet) error {
+	var discard []Diagnostic
+	for _, a := range suite {
+		if a.Export == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			Facts:    facts,
+			diags:    &discard,
+		}
+		if err := a.Export(pass); err != nil {
+			return fmt.Errorf("analysis: %s facts on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return nil
+}
+
+// diagnose applies every analyzer's Run pass to one package against an
+// already-populated (read-only) fact set.
+func diagnose(pkg *Package, suite []*Analyzer, facts *FactSet) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	allows := collectAllows(pkg.Fset, pkg.Files)
 	for _, a := range suite {
@@ -164,6 +223,7 @@ func Run(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			Path:     pkg.Path,
+			Facts:    facts,
 			allows:   allows,
 			diags:    &diags,
 		}
@@ -171,6 +231,11 @@ func Run(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -184,5 +249,15 @@ func Run(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+}
+
+// Run applies every analyzer in suite to one loaded package and returns the
+// findings sorted by position. Facts are computed from this package alone;
+// use RunAll for cross-package fact flow.
+func Run(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFactSet()
+	if err := exportFacts(pkg, suite, facts); err != nil {
+		return nil, err
+	}
+	return diagnose(pkg, suite, facts)
 }

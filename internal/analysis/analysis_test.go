@@ -101,6 +101,9 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nosuch"); err == nil {
 		t.Fatal("unknown analyzer name must error")
 	}
+	if _, err := ByName("floateq,panicfree,floateq"); err == nil {
+		t.Fatal("duplicate analyzer selection must error")
+	}
 }
 
 func TestSuppressionCoversSameAndPreviousLine(t *testing.T) {
@@ -116,6 +119,63 @@ func f() {
 	checkAnalyzer(t, PanicFree, "cadmc/internal/fx", src, []want{
 		{line: 7, message: "panic in library code"},
 	})
+}
+
+// TestSuppressionAcrossNewAnalyzers drives one fixture through all four new
+// analyzers at once: every flagged site carries an allow for its analyzer,
+// so the suite must report nothing — and the identical fixture without the
+// comments must produce exactly one finding per analyzer.
+func TestSuppressionAcrossNewAnalyzers(t *testing.T) {
+	const arenaSrc = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+`
+	mixed := func(allow1, allow2, allow3, allow4 string) string {
+		return `package gateway
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"cadmc/fx2/internal/parallel"
+)
+
+func Mixed(c net.Conn, m map[string]int, p []byte) {
+	buf := parallel.GetF64(8) ` + allow1 + `
+	_ = buf
+	_, _ = c.Read(p) ` + allow2 + `
+	_ = time.Now() ` + allow3 + `
+	for k := range m {
+		fmt.Println(k) ` + allow4 + `
+	}
+}
+`
+	}
+	suite := []*Analyzer{MapIter, ArenaPair, Deadline, WallTime}
+	check := func(name, src string, wantFindings int) {
+		fs := newFixtureSet(t, map[string]string{
+			"cadmc/fx2/internal/parallel": arenaSrc,
+			"cadmc/fx2/internal/gateway":  src,
+		})
+		fs.load("cadmc/fx2/internal/parallel", arenaSrc)
+		pkg := fs.load("cadmc/fx2/internal/gateway", src)
+		diags, err := Run(pkg, suite)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(diags) != wantFindings {
+			t.Errorf("%s: %d findings, want %d:\n%s", name, len(diags), wantFindings, formatDiags(diags))
+		}
+	}
+	check("suppressed", mixed(
+		"//cadmc:allow arenapair -- fixture",
+		"//cadmc:allow deadline -- fixture",
+		"//cadmc:allow walltime -- fixture",
+		"//cadmc:allow mapiter -- fixture",
+	), 0)
+	check("unsuppressed", mixed("", "", "", ""), 4)
 }
 
 func TestSuppressionIsPerAnalyzer(t *testing.T) {

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ArenaPair checks the scratch-arena ownership contract: a buffer acquired
+// with parallel.GetF64 or tensor.Scratch must be handed back with
+// parallel.PutF64 / tensor.Release on every path out of the acquiring
+// function, and must not be used — or escape — after it was handed back (a
+// released buffer is re-minted to the next caller; a write through a stale
+// reference corrupts someone else's kernel). Concretely, per function:
+//
+//   - an acquired buffer with no release and no ownership transfer (return,
+//     store into a struct/map/global, composite literal) leaks its bucket;
+//   - a return or panic between the acquire and an inline (non-deferred)
+//     release skips the release on that path — prefer defer;
+//   - any use after an inline release, or returning a defer-released buffer,
+//     escapes the buffer past its Put.
+var ArenaPair = &Analyzer{
+	Name: "arenapair",
+	Doc:  "GetF64/Scratch must pair with PutF64/Release on all return paths, with no use after release",
+	Run:  runArenaPair,
+}
+
+// arenaAcquireFuncs and arenaReleaseFuncs name the arena entry points by
+// package path suffix and function name, so the check also binds inside
+// internal/parallel and internal/tensor themselves.
+var (
+	arenaAcquireFuncs = map[string]string{
+		"GetF64":  "internal/parallel",
+		"Scratch": "internal/tensor",
+	}
+	arenaReleaseFuncs = map[string]string{
+		"PutF64":  "internal/parallel",
+		"Release": "internal/tensor",
+	}
+)
+
+func runArenaPair(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkArenaFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkArenaFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// arenaCallTarget resolves a call to one of the arena entry points, whether
+// qualified (parallel.GetF64) or package-local (GetF64), returning the
+// function name or "".
+func arenaCallTarget(pass *Pass, call *ast.CallExpr, table map[string]string) string {
+	var ident *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		ident = fun.Sel
+	case *ast.Ident:
+		ident = fun
+	default:
+		return ""
+	}
+	wantPkg, ok := table[ident.Name]
+	if !ok {
+		return ""
+	}
+	obj := pass.Info.Uses[ident]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !pathHasSuffix(fn.Pkg().Path(), wantPkg) {
+		return ""
+	}
+	return ident.Name
+}
+
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix
+}
+
+// arenaBuffer tracks one acquired buffer inside one function.
+type arenaBuffer struct {
+	obj     types.Object
+	acquire token.Pos
+	via     string // GetF64 or Scratch
+}
+
+// checkArenaFunc runs the pairing check over one function body. Nested
+// function literals are scanned as part of the body — a use inside a closure
+// is still a use — but their own acquires are checked when the Inspect in
+// runArenaPair reaches them.
+func checkArenaFunc(pass *Pass, body *ast.BlockStmt) {
+	acquires := arenaAcquires(pass, body)
+	if len(acquires) == 0 {
+		return
+	}
+	for _, buf := range acquires {
+		checkArenaBuffer(pass, body, buf)
+	}
+}
+
+// arenaAcquires finds `x := parallel.GetF64(...)` / `x := tensor.Scratch(...)`
+// directly in body, excluding nested function literals (each literal owns
+// its own acquires).
+func arenaAcquires(pass *Pass, body *ast.BlockStmt) []arenaBuffer {
+	var out []arenaBuffer
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		via := arenaCallTarget(pass, call, arenaAcquireFuncs)
+		if via == "" {
+			return
+		}
+		ident, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			return
+		}
+		obj := pass.Info.Defs[ident]
+		if obj == nil {
+			obj = pass.Info.Uses[ident]
+		}
+		if obj != nil {
+			out = append(out, arenaBuffer{obj: obj, acquire: assign.Pos(), via: via})
+		}
+	})
+	return out
+}
+
+// inspectSkippingFuncLits walks body in source order without descending
+// into nested function literals.
+func inspectSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// arenaRelease is one PutF64/Release call for a tracked buffer.
+type arenaRelease struct {
+	pos      token.Pos
+	deferred bool
+}
+
+func checkArenaBuffer(pass *Pass, body *ast.BlockStmt, buf arenaBuffer) {
+	releases := arenaReleases(pass, body, buf)
+	if len(releases) == 0 {
+		if pos, escapes := arenaEscape(pass, body, buf, 0); !escapes {
+			pass.Reportf(buf.acquire,
+				"%s buffer %s is never released (PutF64/Release) in this function and does not transfer ownership",
+				buf.via, buf.obj.Name())
+		} else {
+			_ = pos
+		}
+		return
+	}
+	first := releases[0]
+	if first.deferred {
+		// Defer covers every return/panic path; only escape-by-return of the
+		// released buffer remains to check.
+		if pos, escapes := arenaEscape(pass, body, buf, buf.acquire); escapes {
+			pass.Reportf(pos, "arena buffer %s escapes this function but is released by defer; the caller would use freed storage",
+				buf.obj.Name())
+		}
+		return
+	}
+	// Inline release: any return or panic between acquire and release skips
+	// the release on that path.
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		switch node := n.(type) {
+		case *ast.ReturnStmt:
+			if node.Pos() > buf.acquire && node.Pos() < first.pos {
+				pass.Reportf(node.Pos(), "return path skips the release of arena buffer %s (acquired at line %d); use defer %s",
+					buf.obj.Name(), pass.Fset.Position(buf.acquire).Line, releaseName(buf.via))
+			}
+		case *ast.CallExpr:
+			if ident, ok := node.Fun.(*ast.Ident); ok && ident.Name == "panic" {
+				if _, builtin := pass.Info.Uses[ident].(*types.Builtin); builtin &&
+					node.Pos() > buf.acquire && node.Pos() < first.pos {
+					pass.Reportf(node.Pos(), "panic path skips the release of arena buffer %s; use defer %s",
+						buf.obj.Name(), releaseName(buf.via))
+				}
+			}
+		}
+	})
+	// Use after the (last) inline release escapes the buffer past its Put.
+	last := releases[len(releases)-1]
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		ident, ok := n.(*ast.Ident)
+		if !ok || ident.Pos() <= last.pos {
+			return
+		}
+		if resolveIdent(pass, ident) == buf.obj {
+			pass.Reportf(ident.Pos(), "arena buffer %s used after its release at line %d",
+				buf.obj.Name(), pass.Fset.Position(last.pos).Line)
+		}
+	})
+}
+
+func releaseName(via string) string {
+	if via == "GetF64" {
+		return "parallel.PutF64"
+	}
+	return "tensor.Release"
+}
+
+func resolveIdent(pass *Pass, ident *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[ident]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[ident]
+}
+
+// arenaReleases finds PutF64/Release calls whose argument is rooted at the
+// buffer, in source order. The release call's own argument does not count
+// as a use.
+func arenaReleases(pass *Pass, body *ast.BlockStmt, buf arenaBuffer) []arenaRelease {
+	var out []arenaRelease
+	var deferred map[token.Pos]bool
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if deferred == nil {
+				deferred = make(map[token.Pos]bool)
+			}
+			deferred[d.Call.Pos()] = true
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < buf.acquire {
+			return
+		}
+		if arenaCallTarget(pass, call, arenaReleaseFuncs) == "" || len(call.Args) != 1 {
+			return
+		}
+		if baseIdentObj(pass, call.Args[0]) != buf.obj {
+			return
+		}
+		out = append(out, arenaRelease{pos: call.End(), deferred: deferred[call.Pos()]})
+	})
+	return out
+}
+
+// arenaEscape reports whether the buffer value itself leaves the function:
+// it is returned, stored into a field/element/global, sent on a channel, or
+// placed in a composite literal. Mentions inside call arguments or index
+// expressions do not count — `return Col2Im(buf, cs)` hands buf to a callee
+// that copies out of it before any deferred release runs, and `return buf[0]`
+// copies one scalar element; only the buffer flowing out as a value (or via
+// a sub-slice / field selector) is ownership transfer. After lo only (0
+// scans the whole body).
+func arenaEscape(pass *Pass, body *ast.BlockStmt, buf arenaBuffer, lo token.Pos) (token.Pos, bool) {
+	var at token.Pos
+	found := false
+	mentions := func(e ast.Expr) bool {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.CallExpr, *ast.IndexExpr:
+				return false
+			}
+			if ident, ok := n.(*ast.Ident); ok && resolveIdent(pass, ident) == buf.obj {
+				hit = true
+				return false
+			}
+			return !hit
+		})
+		return hit
+	}
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		if found || n.Pos() < lo {
+			return
+		}
+		switch node := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if mentions(res) {
+					at, found = node.Pos(), true
+				}
+			}
+		case *ast.SendStmt:
+			if mentions(node.Value) {
+				at, found = node.Pos(), true
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				if mentions(elt) {
+					at, found = node.Pos(), true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i < len(node.Lhs) && mentions(rhs) {
+					if _, plainIdent := node.Lhs[i].(*ast.Ident); !plainIdent {
+						at, found = node.Pos(), true
+					}
+				}
+			}
+		}
+	})
+	return at, found
+}

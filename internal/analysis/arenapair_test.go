@@ -1,0 +1,161 @@
+package analysis
+
+import "testing"
+
+// The fixtures define GetF64/PutF64 locally inside a package whose import
+// path ends in internal/parallel, so plain-ident calls resolve to the arena
+// entry points exactly like they do inside the real package.
+
+func TestArenaPairLeak(t *testing.T) {
+	const src = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+
+func leak(n int) {
+	buf := GetF64(n)
+	buf[0] = 1
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, []want{
+		{line: 7, message: "never released"},
+	})
+}
+
+func TestArenaPairEarlyReturnAndPanic(t *testing.T) {
+	const src = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+
+func early(n int) int {
+	buf := GetF64(n)
+	if n > 4 {
+		return 0
+	}
+	if n < 0 {
+		panic("negative")
+	}
+	PutF64(buf)
+	return 1
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, []want{
+		{line: 9, message: "return path skips the release"},
+		{line: 12, message: "panic path skips the release"},
+	})
+}
+
+func TestArenaPairUseAfterRelease(t *testing.T) {
+	const src = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+
+func useAfter(n int) float64 {
+	buf := GetF64(n)
+	PutF64(buf)
+	return buf[0]
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, []want{
+		{line: 9, message: "used after its release"},
+	})
+}
+
+func TestArenaPairDeferredEscape(t *testing.T) {
+	const src = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+
+func escape(n int) []float64 {
+	buf := GetF64(n)
+	defer PutF64(buf)
+	return buf
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, []want{
+		{line: 9, message: "escapes this function but is released by defer"},
+	})
+}
+
+func TestArenaPairCleanPatterns(t *testing.T) {
+	const src = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+
+type holder struct{ buf []float64 }
+
+var sink holder
+
+func deferred(n int) float64 {
+	buf := GetF64(n)
+	defer PutF64(buf)
+	buf[0] = 1
+	s := buf[0] + 2
+	return s
+}
+
+func inline(n int) float64 {
+	buf := GetF64(n)
+	buf[0] = 3
+	s := buf[0]
+	PutF64(buf)
+	return s
+}
+
+func transfer(n int) {
+	buf := GetF64(n)
+	sink.buf = buf
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, nil)
+}
+
+func TestArenaPairScratchRelease(t *testing.T) {
+	const src = `package tensor
+
+type Tensor struct{ Data []float64 }
+
+func Scratch(r, c int) *Tensor { return &Tensor{Data: make([]float64, r*c)} }
+func Release(t *Tensor)        {}
+
+func missing(r, c int) {
+	t := Scratch(r, c)
+	t.Data[0] = 1
+}
+
+func viaCall(r, c int) float64 {
+	t := Scratch(r, c)
+	defer Release(t)
+	return total(t)
+}
+
+func total(t *Tensor) float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/tensor", src, []want{
+		{line: 9, message: "Scratch buffer t is never released"},
+	})
+}
+
+func TestArenaPairAllow(t *testing.T) {
+	const src = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+
+func pinned(n int) {
+	buf := GetF64(n) //cadmc:allow arenapair -- ring owns the buffer until shutdown
+	buf[0] = 1
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, nil)
+}

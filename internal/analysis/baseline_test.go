@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiffBaseline(t *testing.T) {
+	fixed := JSONFinding{File: "a.go", Line: 3, Analyzer: "mapiter", Message: "was fixed"}
+	kept := JSONFinding{File: "b.go", Line: 9, Analyzer: "walltime", Message: "still here"}
+	fresh := JSONFinding{File: "c.go", Line: 1, Analyzer: "deadline", Message: "brand new"}
+	moved := kept
+	moved.Line = 42 // same file/analyzer/message on a different line
+
+	delta := DiffBaseline([]JSONFinding{moved, fresh}, []JSONFinding{fixed, kept})
+	if len(delta.New) != 1 || delta.New[0].Message != "brand new" {
+		t.Fatalf("New = %v, want just the fresh finding", delta.New)
+	}
+	if len(delta.Stale) != 1 || delta.Stale[0].Message != "was fixed" {
+		t.Fatalf("Stale = %v, want just the fixed finding", delta.Stale)
+	}
+	if delta.Empty() {
+		t.Fatal("delta with entries must not be Empty")
+	}
+	if !(DiffBaseline(nil, nil).Empty()) {
+		t.Fatal("empty diff must be Empty")
+	}
+}
+
+func TestJSONReportRelativisesPaths(t *testing.T) {
+	diags := []Diagnostic{{
+		Pos:      token.Position{Filename: filepath.Join("/mod", "internal", "x", "f.go"), Line: 7, Column: 2},
+		Analyzer: "mapiter",
+		Message:  "m",
+	}}
+	report := NewJSONReport("cadmc", []*Analyzer{MapIter, WallTime}, "/mod", diags)
+	if len(report.Analyzers) != 2 || report.Analyzers[0] != "mapiter" || report.Analyzers[1] != "walltime" {
+		t.Fatalf("analyzers = %v", report.Analyzers)
+	}
+	if len(report.Findings) != 1 || report.Findings[0].File != "internal/x/f.go" {
+		t.Fatalf("findings = %v, want repo-relative slash path", report.Findings)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, []byte(`{"module":"cadmc","analyzers":["mapiter"],"findings":[{"file":"a.go","line":1,"column":2,"analyzer":"mapiter","message":"m"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := LoadBaseline(path)
+	if err != nil || report.Module != "cadmc" || len(report.Findings) != 1 {
+		t.Fatalf("LoadBaseline = %+v, %v", report, err)
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("malformed baseline must error")
+	}
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// deadlineTargetPkgs are the packages whose goroutines sit on real sockets
+// under fault injection: a blocking Read/Write with no deadline and no
+// context guard turns a dropped peer into a goroutine leak that survives the
+// whole soak run.
+var deadlineTargetPkgs = []string{
+	"internal/serving",
+	"internal/gateway",
+	"internal/faultnet",
+}
+
+// Deadline checks that blocking connection I/O is dominated by a deadline or
+// context guard. The Export phase runs over every module package and marks
+// functions whose body performs unguarded blocking I/O with FactBlocking, so
+// a gateway-side caller of a serving-side helper inherits the obligation
+// across the package boundary. The Run phase reports only inside the target
+// packages, only in exported functions (unexported helpers are judged at
+// their exported callers), and exempts net.Conn / net.Listener
+// implementations themselves: a transport wrapper like faultnet.Conn
+// forwards Read/Write by contract and the deadline belongs to whoever owns
+// the endpoint.
+var Deadline = &Analyzer{
+	Name:   "deadline",
+	Doc:    "blocking conn/gob I/O in serving, gateway and faultnet needs a SetDeadline or ctx guard first",
+	Export: exportDeadline,
+	Run:    runDeadline,
+}
+
+func isDeadlineTarget(path string) bool {
+	for _, p := range deadlineTargetPkgs {
+		if strings.HasSuffix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// deadlineGuardNames are the calls that bound a subsequent blocking
+// operation: socket deadlines, or watching a context.
+var deadlineGuardNames = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// blockingConnMethods are the indefinitely-blocking calls on a conn-like
+// value. Accept is deliberately absent: an accept loop is expected to park.
+var blockingConnMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+}
+
+var blockingGobMethods = map[string]bool{
+	"Encode": true, "EncodeValue": true, "Decode": true, "DecodeValue": true,
+}
+
+func hasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// isConnLike duck-types net.Conn: anything carrying Read, Write and
+// SetDeadline, concrete or interface.
+func isConnLike(t types.Type) bool {
+	return hasMethod(t, "Read") && hasMethod(t, "Write") && hasMethod(t, "SetDeadline")
+}
+
+func isListenerLike(t types.Type) bool {
+	return hasMethod(t, "Accept") && hasMethod(t, "Close")
+}
+
+func isNamedFrom(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+func isContextType(t types.Type) bool {
+	return isNamedFrom(t, "context", "Context")
+}
+
+// firstUnguardedBlock scans fn's body in source order and returns the first
+// blocking event not preceded by any guard event. This is the linear
+// approximation of dominance: one guard anywhere before the first blocking
+// call covers the function, matching how the serving and gateway code is
+// actually written (arm the deadline at the top, then run the exchange).
+func firstUnguardedBlock(pass *Pass, body *ast.BlockStmt) (token.Pos, string, bool) {
+	minGuard := token.Pos(0)
+	var blockPos token.Pos
+	var blockDesc string
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isDeadlineGuard(pass, call) {
+			if minGuard == 0 || call.Pos() < minGuard {
+				minGuard = call.Pos()
+			}
+			return true
+		}
+		if desc, blocking := isBlockingCall(pass, call); blocking {
+			if blockPos == 0 || call.Pos() < blockPos {
+				blockPos, blockDesc = call.Pos(), desc
+			}
+		}
+		return true
+	})
+	if blockPos == 0 {
+		return 0, "", false
+	}
+	if minGuard != 0 && minGuard < blockPos {
+		return 0, "", false
+	}
+	return blockPos, blockDesc, true
+}
+
+func isDeadlineGuard(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if deadlineGuardNames[sel.Sel.Name] {
+		return true
+	}
+	// ctx.Done() in a select arm, or a ctx.Err() bail-out, counts as the
+	// context-side guard.
+	if sel.Sel.Name == "Done" || sel.Sel.Name == "Err" {
+		if t := pass.Info.Types[sel.X].Type; isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isBlockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		recv := pass.Info.Types[fun.X].Type
+		name := fun.Sel.Name
+		if blockingConnMethods[name] && isConnLike(recv) {
+			return fmt.Sprintf("%s on a connection", name), true
+		}
+		if blockingGobMethods[name] &&
+			(isNamedFrom(recv, "encoding/gob", "Encoder") || isNamedFrom(recv, "encoding/gob", "Decoder")) {
+			return fmt.Sprintf("gob %s", name), true
+		}
+		if obj := pass.Info.Uses[fun.Sel]; obj != nil && pass.Facts != nil && pass.Facts.HasFact(obj, FactBlocking) {
+			return fmt.Sprintf("call to %s, which blocks on connection I/O", obj.Name()), true
+		}
+	case *ast.Ident:
+		if obj := pass.Info.Uses[fun]; obj != nil && pass.Facts != nil && pass.Facts.HasFact(obj, FactBlocking) {
+			return fmt.Sprintf("call to %s, which blocks on connection I/O", obj.Name()), true
+		}
+	}
+	return "", false
+}
+
+// exportDeadline marks every function containing unguarded blocking I/O with
+// FactBlocking, iterating to a fixed point so intra-package call chains
+// propagate regardless of declaration order.
+func exportDeadline(pass *Pass) error {
+	for {
+		added := false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, _ := pass.Info.Defs[fn.Name].(*types.Func)
+				if obj == nil || pass.Facts.HasFact(obj, FactBlocking) {
+					continue
+				}
+				if _, _, blocked := firstUnguardedBlock(pass, fn.Body); blocked {
+					pass.Facts.ExportFact(obj, FactBlocking)
+					added = true
+				}
+			}
+		}
+		if !added {
+			return nil
+		}
+	}
+}
+
+func runDeadline(pass *Pass) error {
+	if !isDeadlineTarget(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if recv := receiverBaseType(pass, fn); recv != nil && (isConnLike(recv) || isListenerLike(recv)) {
+				continue
+			}
+			if pos, desc, blocked := firstUnguardedBlock(pass, fn.Body); blocked {
+				pass.Reportf(pos,
+					"%s can park forever; arm SetDeadline/SetReadDeadline or select on ctx.Done() first", desc)
+			}
+		}
+	}
+	return nil
+}
+
+func receiverBaseType(pass *Pass, fn *ast.FuncDecl) types.Type {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	return pass.Info.Types[fn.Recv.List[0].Type].Type
+}

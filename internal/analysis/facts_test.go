@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func TestFactSet(t *testing.T) {
+	a := types.NewVar(token.NoPos, nil, "a", types.Typ[types.Int])
+	b := types.NewVar(token.NoPos, nil, "b", types.Typ[types.Int])
+
+	fs := NewFactSet()
+	if fs.HasFact(a, FactBlocking) || fs.Len() != 0 {
+		t.Fatal("fresh fact set must be empty")
+	}
+	fs.ExportFact(a, FactBlocking)
+	fs.ExportFact(a, FactBlocking) // idempotent
+	if !fs.HasFact(a, FactBlocking) || fs.HasFact(b, FactBlocking) || fs.Len() != 1 {
+		t.Fatalf("fact set state after export: len=%d", fs.Len())
+	}
+	fs.ExportFact(nil, FactBlocking)
+	if fs.Len() != 1 || fs.HasFact(nil, FactBlocking) {
+		t.Fatal("nil objects must be ignored")
+	}
+}
+
+func TestCollectAllowsParsing(t *testing.T) {
+	const src = `package fx
+
+//cadmc:allow floateq panicfree
+var a = 1
+
+var b = 2 //cadmc:allow seededrand -- rationale words are not analyzer names
+`
+	pkg := fixture(t, "cadmc/internal/fx", src)
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+
+	for _, k := range []allowKey{
+		{file, 3, "floateq"},
+		{file, 3, "panicfree"},
+		{file, 6, "seededrand"},
+	} {
+		if !allows[k] {
+			t.Errorf("missing allow %+v", k)
+		}
+	}
+	for _, name := range []string{"--", "rationale", "words"} {
+		if allows[allowKey{file, 6, name}] {
+			t.Errorf("rationale token %q parsed as an analyzer name", name)
+		}
+	}
+	if len(allows) != 3 {
+		t.Errorf("collected %d allows, want 3: %v", len(allows), allows)
+	}
+}
+
+// TestLoaderDependencyOrder pins the property RunAll's fact phase relies on:
+// a package appears in Loaded() after every module package it imports.
+func TestLoaderDependencyOrder(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatalf("new loader: %v", err)
+	}
+	if _, err := loader.Load("cadmc/internal/tensor"); err != nil {
+		t.Fatalf("load tensor: %v", err)
+	}
+	order := loader.Loaded()
+	idx := func(path string) int {
+		for i, pkg := range order {
+			if pkg.Path == path {
+				return i
+			}
+		}
+		return -1
+	}
+	par, ten := idx("cadmc/internal/parallel"), idx("cadmc/internal/tensor")
+	if par == -1 || ten == -1 || par > ten {
+		t.Fatalf("load order %v: parallel (dep) at %d must precede tensor at %d", order, par, ten)
+	}
+}

@@ -36,6 +36,11 @@ type Loader struct {
 	fset   *token.FileSet
 	std    types.Importer
 	cache  map[string]*loadEntry
+	// order records module packages in load-completion order. A package's
+	// imports finish loading before the package itself does, so this is a
+	// topological (dependency-first) order — exactly the order fact-export
+	// passes must visit packages in.
+	order []*Package
 }
 
 type loadEntry struct {
@@ -109,7 +114,16 @@ func (l *Loader) Load(path string) (*Package, error) {
 	l.cache[path] = &loadEntry{err: fmt.Errorf("analysis: import cycle through %q", path)}
 	pkg, err := l.load(path)
 	l.cache[path] = &loadEntry{pkg: pkg, err: err}
+	if err == nil {
+		l.order = append(l.order, pkg)
+	}
 	return pkg, err
+}
+
+// Loaded returns every successfully loaded module package in dependency
+// order: a package appears after all module packages it imports.
+func (l *Loader) Loaded() []*Package {
+	return append([]*Package(nil), l.order...)
 }
 
 func (l *Loader) load(path string) (*Package, error) {

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags range-over-map loops whose body is order-sensitive: Go
+// randomises map iteration order per run, so a loop that appends to a slice
+// (left unsorted), concatenates strings, accumulates floats, or prints
+// through an ordered sink produces a different result every execution — the
+// classic determinism leak in report rendering, variant bookkeeping and
+// compression planning. Order-insensitive bodies stay legal: writes keyed by
+// the loop variables (map-to-map rebuilds, per-entry mutation), integer
+// counters (exact and commutative), and min/max tracking. An append-to-slice
+// accumulator is also legal when the slice is sorted later in the same
+// function — the collect-then-sort idiom. Commands are checked too: the
+// whole point is reproducible output.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "no order-sensitive work (appends, float/string accumulation, printing) inside range-over-map",
+	Run:  runMapIter,
+}
+
+// orderedSinkNames are call names whose output order is observable: printing
+// and building text, or reporting diagnostics.
+var orderedSinkNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Reportf": true, "Errorf": true, "Error": true, "Log": true, "Logf": true,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkMapRanges(pass *Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.Info.Types[rng.X].Type; t == nil || !isMapType(t) {
+			return true
+		}
+		checkMapRangeBody(pass, fnBody, rng)
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// rangeVarObjs resolves the loop's key/value variables; writes rooted at
+// them touch a distinct element per iteration and are order-insensitive.
+func rangeVarObjs(pass *Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		ident, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := pass.Info.Defs[ident]; obj != nil {
+			objs[obj] = true
+		} else if obj := pass.Info.Uses[ident]; obj != nil {
+			objs[obj] = true
+		}
+	}
+	return objs
+}
+
+// baseIdentObj walks to the root identifier of an lvalue (s, s.f, s[i].g)
+// and resolves it.
+func baseIdentObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside [lo, hi].
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	loopVars := rangeVarObjs(pass, rng)
+	outer := func(obj types.Object) bool {
+		return obj != nil && !loopVars[obj] && !declaredWithin(obj, rng.Pos(), rng.End())
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges are checked by the enclosing Inspect walk in
+			// checkMapRanges; their bodies answer for themselves.
+			if node != rng {
+				if t := pass.Info.Types[node.X].Type; t != nil && isMapType(t) {
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			name := ""
+			switch fun := node.Fun.(type) {
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			case *ast.Ident:
+				name = fun.Name
+			}
+			if orderedSinkNames[name] {
+				pass.Reportf(node.Pos(),
+					"%s inside range over a map emits in random order; iterate sorted keys instead", name)
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fnBody, rng, node, outer)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt,
+	assign *ast.AssignStmt, outer func(types.Object) bool) {
+	switch assign.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := assign.Lhs[0]
+		obj := baseIdentObj(pass, lhs)
+		if !outer(obj) {
+			return
+		}
+		t := pass.Info.Types[lhs].Type
+		if isFloat(t) {
+			pass.Reportf(assign.Pos(),
+				"float accumulation into %s in map order is non-associative; iterate sorted keys", obj.Name())
+		} else if isString(t) {
+			pass.Reportf(assign.Pos(),
+				"string concatenation onto %s follows random map order; iterate sorted keys", obj.Name())
+		}
+	case token.ASSIGN, token.DEFINE:
+		// s = append(s, ...) growing an outer slice: the element order is the
+		// map's random order unless the slice is sorted before use.
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+				continue
+			}
+			obj := baseIdentObj(pass, call.Args[0])
+			if !outer(obj) || i >= len(assign.Lhs) {
+				continue
+			}
+			if sortedAfter(pass, fnBody, rng, obj) {
+				continue
+			}
+			pass.Reportf(assign.Pos(),
+				"append to %s in map order without a later sort; sort %s (or the keys) before use",
+				obj.Name(), obj.Name())
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok || ident.Name != "append" {
+		return false
+	}
+	_, builtin := pass.Info.Uses[ident].(*types.Builtin)
+	return builtin
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.* call after
+// the range loop in the same function — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if baseIdentObj(pass, arg) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

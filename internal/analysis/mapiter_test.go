@@ -1,0 +1,107 @@
+package analysis
+
+import "testing"
+
+func TestMapIterOrderedSinks(t *testing.T) {
+	const src = `package fx
+
+import "fmt"
+
+func sink(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`
+	checkAnalyzer(t, MapIter, "cadmc/internal/fx", src, []want{
+		{line: 7, message: "Printf inside range over a map"},
+	})
+}
+
+func TestMapIterChecksCommandsToo(t *testing.T) {
+	const src = `package main
+
+import "fmt"
+
+func main() {
+	for k := range map[string]int{"a": 1} {
+		fmt.Println(k)
+	}
+}
+`
+	checkAnalyzer(t, MapIter, "cadmc/cmd/fx", src, []want{
+		{line: 7, message: "Println inside range over a map"},
+	})
+}
+
+func TestMapIterAccumulators(t *testing.T) {
+	const src = `package fx
+
+func accum(m map[string]float64) (float64, int, string) {
+	sum := 0.0
+	n := 0
+	out := ""
+	for _, v := range m {
+		sum += v
+		n += 1
+		out += "x"
+	}
+	return sum, n, out
+}
+`
+	checkAnalyzer(t, MapIter, "cadmc/internal/fx", src, []want{
+		{line: 8, message: "float accumulation into sum"},
+		{line: 10, message: "string concatenation onto out"},
+	})
+}
+
+func TestMapIterCollectThenSort(t *testing.T) {
+	const src = `package fx
+
+import "sort"
+
+func collect(m map[string]int) ([]string, []string) {
+	var sorted []string
+	var raw []string
+	for k := range m {
+		sorted = append(sorted, k)
+		raw = append(raw, k)
+	}
+	sort.Strings(sorted)
+	return sorted, raw
+}
+`
+	checkAnalyzer(t, MapIter, "cadmc/internal/fx", src, []want{
+		{line: 10, message: "append to raw"},
+	})
+}
+
+func TestMapIterOrderInsensitiveBodies(t *testing.T) {
+	const src = `package fx
+
+func rebuild(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		scaled := v * 2
+		scaled += 1
+		out[k] = scaled
+	}
+	return out
+}
+`
+	checkAnalyzer(t, MapIter, "cadmc/internal/fx", src, nil)
+}
+
+func TestMapIterAllow(t *testing.T) {
+	const src = `package fx
+
+import "fmt"
+
+func emit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //cadmc:allow mapiter -- replay trace, order is pinned upstream
+	}
+}
+`
+	checkAnalyzer(t, MapIter, "cadmc/internal/fx", src, nil)
+}

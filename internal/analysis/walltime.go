@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// clockInjectedPkgs are the packages whose schedules run on an injectable
+// faultnet.Clock: outage windows, swap polls and replay timelines are all
+// defined on that axis so tests replay them bit-identically under a
+// ManualClock. Reading the wall clock directly in these packages bypasses
+// the seam and silently turns a deterministic replay into a wall-time one.
+var clockInjectedPkgs = []string{
+	"internal/emulator",
+	"internal/faultnet",
+	"internal/gateway",
+}
+
+// wallTimeFuncs are the time package functions that read or free-run on the
+// wall clock. time.NewTimer and time.Sleep stay legal: a duration-bounded
+// wait caps how long real time may pass (the micro-batcher's coalesce
+// window, injected latency) without leaking the wall clock's value into any
+// result. time.Now and time.Since read the clock into data; After, Tick and
+// NewTicker free-run on it.
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTicker": true,
+}
+
+// WallTime forbids direct wall-clock reads in clock-injected packages. The
+// injectable-clock seam itself (faultnet's real Clock implementation) is the
+// one sanctioned reader and carries //cadmc:allow walltime.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "clock-injected packages (emulator, faultnet, gateway) must read time through the Clock seam",
+	Run:  runWallTime,
+}
+
+func isClockInjected(path string) bool {
+	for _, p := range clockInjectedPkgs {
+		if strings.HasSuffix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runWallTime(pass *Pass) error {
+	if !isClockInjected(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if wallTimeFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock in a clock-injected package; route it through the Clock seam",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

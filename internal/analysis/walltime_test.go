@@ -1,0 +1,42 @@
+package analysis
+
+import "testing"
+
+func TestWallTimeInClockInjectedPackage(t *testing.T) {
+	const src = `package gateway
+
+import "time"
+
+func bad(d time.Duration) (time.Time, <-chan time.Time) {
+	now := time.Now()
+	ch := time.After(d)
+	return now, ch
+}
+
+func legal(d time.Duration) {
+	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+func seam() time.Time {
+	//cadmc:allow walltime -- the real clock implementation under test
+	return time.Now()
+}
+`
+	checkAnalyzer(t, WallTime, "cadmc/fx/internal/gateway", src, []want{
+		{line: 6, message: "time.Now reads the wall clock"},
+		{line: 7, message: "time.After reads the wall clock"},
+	})
+}
+
+func TestWallTimeIgnoresNonInjectedPackages(t *testing.T) {
+	const src = `package other
+
+import "time"
+
+func fine() time.Time { return time.Now() }
+`
+	checkAnalyzer(t, WallTime, "cadmc/internal/other", src, nil)
+}

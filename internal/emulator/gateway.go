@@ -187,7 +187,7 @@ func RunGateway(opts GatewayOptions) (*GatewayRunResult, error) {
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 	records := make([]GatewayRecord, 0, opts.RequestsPerPhase*len(opts.PhaseMbps))
 	chans := make([]<-chan gateway.Result, 0, cap(records))
-	start := time.Now()
+	clk := faultnet.NewClock()
 
 	submit := func(phase, n int, secondHalf bool) error {
 		for i := 0; i < n; i++ {
@@ -236,7 +236,7 @@ func RunGateway(opts GatewayOptions) (*GatewayRunResult, error) {
 		drainFrom(drained)
 		drained = len(chans)
 	}
-	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+	wallMS := float64(clk.Now()) / float64(time.Millisecond)
 	rep := gw.Stop()
 
 	out := &GatewayRunResult{

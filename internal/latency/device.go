@@ -6,7 +6,10 @@
 // model against (synthetic) measurements, regenerating Fig. 5.
 package latency
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Device is a computational platform profile. Computational latency of a
 // layer is coeff(layer) · MACCs + overhead, in nanoseconds, where the
@@ -48,8 +51,13 @@ func (d Device) Validate() error {
 	if d.DefaultConvCoeffNS <= 0 || d.FCCoeffNS <= 0 {
 		return fmt.Errorf("latency: device %q has non-positive coefficients", d.Name)
 	}
-	for k, c := range d.ConvCoeffNS {
-		if c <= 0 {
+	kernels := make([]int, 0, len(d.ConvCoeffNS))
+	for k := range d.ConvCoeffNS {
+		kernels = append(kernels, k)
+	}
+	sort.Ints(kernels)
+	for _, k := range kernels {
+		if d.ConvCoeffNS[k] <= 0 {
 			return fmt.Errorf("latency: device %q kernel-%d coefficient non-positive", d.Name, k)
 		}
 	}
