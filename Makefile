@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet vet-json check chaos bench bench-gateway bench-kernels
+.PHONY: build test race vet vet-json check chaos chaos-integrity fuzz bench bench-gateway bench-kernels
 
 build:
 	go build ./...
@@ -29,6 +29,18 @@ check:
 chaos:
 	go test -race -count=2 ./internal/faultnet
 	go test -race -count=2 -run 'Resilient|Breaker|Live|Client|Split|Server' ./internal/serving ./internal/emulator
+
+# Integrity + self-healing suite: seeded weight corruption, pre-swap
+# manifest verification, variant quarantine/rollback, and wedged-worker
+# restart — the emulator scenario plus every unit behind it, run twice to
+# prove the injected faults replay identically.
+chaos-integrity:
+	go test -race -count=2 -run 'Integrity|Quarantine|Corrupt|Supervisor|Manifest' \
+		./internal/integrity ./internal/gateway ./internal/emulator
+
+# Five-second fuzz smoke of the serving protocol's frame decoder.
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 5s ./internal/serving
 
 bench:
 	go test -bench=. -benchmem

@@ -10,6 +10,7 @@
 //	emulate -mode field -model AlexNet -scenario "WiFi (weak) indoor"
 //	emulate -mode live -scenario "WiFi (weak) indoor" -inferences 60
 //	emulate -mode gateway -sessions 64            # multi-session gateway replay
+//	emulate -mode integrity -sessions 16          # corruption + stall self-healing replay
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "emulation", "replay mode: emulation, field, or live")
+	mode := flag.String("mode", "emulation", "replay mode: emulation, field, live, gateway, or integrity")
 	model := flag.String("model", "", "restrict to one base model (VGG11 or AlexNet)")
 	device := flag.String("device", "", "restrict to one device (Phone or TX2)")
 	scenario := flag.String("scenario", "", "restrict to one network scenario")
@@ -44,6 +45,8 @@ func main() {
 		err = runLive(*scenario, *seed, *inferences)
 	case "gateway":
 		err = runGateway(*seed, *sessions)
+	case "integrity":
+		err = runIntegrity(*seed, *sessions)
 	default:
 		err = run(*mode, *model, *device, *scenario, *quick, *seed)
 	}
@@ -161,6 +164,35 @@ func runGateway(seed int64, sessions int) error {
 	for _, sig := range sigs {
 		fmt.Printf("variant %-12s served %d requests\n", sig, res.SigCounts[sig])
 	}
+	return nil
+}
+
+// runIntegrity replays the self-healing scenario: a wedged worker restarted
+// by the supervisor, seeded weight corruption caught by the pre-swap
+// manifest check, and the poisoned variant quarantined while the gateway
+// keeps serving last-known-good.
+func runIntegrity(seed int64, sessions int) error {
+	if sessions <= 0 {
+		return fmt.Errorf("integrity mode needs a positive session count")
+	}
+	res, err := emulator.RunIntegrity(emulator.IntegrityOptions{
+		Sessions: sessions,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	rep := res.Report
+	fmt.Printf("integrity replay: %d sessions, %d requests, stall timeout %v\n",
+		res.Options.Sessions, len(res.Records), res.Options.StallTimeout)
+	fmt.Printf("injected fault: %s\n", res.Corruption)
+	fmt.Printf("quarantined: %v (desired class %d, serving class %d)\n",
+		res.Quarantined, res.DesiredClass, res.ServedClass)
+	fmt.Printf("self-healing: %d quarantines, %d rollbacks, %d worker restarts, %d requests re-queued\n",
+		rep.Quarantines, rep.Rollbacks, rep.Restarts, rep.Requeued)
+	fmt.Printf("accounting: %d admitted = %d completed + %d shed (%d errored, %d budget-expired)\n",
+		rep.Admitted, rep.Completed, rep.Shed, rep.Errored, rep.BudgetExpired)
+	fmt.Printf("latency ms: p50 %.2f | p99 %.2f | %d hot-swaps survived\n", rep.P50MS, rep.P99MS, res.Swaps)
 	return nil
 }
 

@@ -59,6 +59,17 @@ type phaseStats struct {
 	Routes        string  `json:"routes"`
 }
 
+// resilienceStats surfaces the gateway's self-healing counters. A clean
+// bench run reports zeros — non-zero values mean the rig itself tripped
+// quarantine or the supervisor, which would invalidate the comparison.
+type resilienceStats struct {
+	Quarantines   int64 `json:"quarantines"`
+	Rollbacks     int64 `json:"rollbacks"`
+	Restarts      int64 `json:"restarts"`
+	Requeued      int64 `json:"requeued"`
+	BudgetExpired int64 `json:"budget_expired"`
+}
+
 type overloadStats struct {
 	Offered  int64   `json:"offered"`
 	Admitted int64   `json:"admitted"`
@@ -77,6 +88,7 @@ type benchReport struct {
 	Speedup         float64          `json:"batched_vs_unbatched_speedup"`
 	GatewayBatches  int64            `json:"gateway_batches"`
 	GatewayMeanSize float64          `json:"gateway_mean_batch"`
+	Resilience      resilienceStats  `json:"resilience"`
 	Overload        overloadStats    `json:"overload"`
 }
 
@@ -325,7 +337,14 @@ func run(requests, workers, maxBatch int, latencyMS float64, seed int64, out str
 		Speedup:         gw.ThroughputRPS / base.ThroughputRPS,
 		GatewayBatches:  rep.Batches,
 		GatewayMeanSize: rep.MeanBatch,
-		Overload:        over,
+		Resilience: resilienceStats{
+			Quarantines:   rep.Quarantines,
+			Rollbacks:     rep.Rollbacks,
+			Restarts:      rep.Restarts,
+			Requeued:      rep.Requeued,
+			BudgetExpired: rep.BudgetExpired,
+		},
+		Overload: over,
 	}
 	fmt.Printf("baseline %.1f req/s | gateway %.1f req/s | speedup %.2fx | shed rate %.2f\n",
 		base.ThroughputRPS, gw.ThroughputRPS, report.Speedup, over.ShedRate)

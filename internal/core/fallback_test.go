@@ -1,0 +1,44 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFallbackOrder(t *testing.T) {
+	cases := []struct {
+		k, K int
+		want []int
+	}{
+		{0, 1, []int{0}},
+		{0, 3, []int{0, 1, 2}},
+		{1, 3, []int{1, 0, 2}},
+		{2, 3, []int{2, 1, 0}},
+		{1, 2, []int{1, 0}},
+		{-1, 3, []int{0, 1, 2}}, // clamped below
+		{7, 3, []int{2, 1, 0}},  // clamped above
+		{0, 0, nil},             // no classes at all
+	}
+	for _, c := range cases {
+		if got := FallbackOrder(c.k, c.K); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("FallbackOrder(%d, %d) = %v, want %v", c.k, c.K, got, c.want)
+		}
+	}
+	// Every class appears exactly once for any in-range k.
+	for K := 1; K <= 5; K++ {
+		for k := 0; k < K; k++ {
+			seen := make([]bool, K)
+			for _, i := range FallbackOrder(k, K) {
+				if seen[i] {
+					t.Fatalf("FallbackOrder(%d, %d) repeats class %d", k, K, i)
+				}
+				seen[i] = true
+			}
+			for i, ok := range seen {
+				if !ok {
+					t.Fatalf("FallbackOrder(%d, %d) misses class %d", k, K, i)
+				}
+			}
+		}
+	}
+}

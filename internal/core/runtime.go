@@ -109,6 +109,32 @@ func ComposeForClass(tree *ModelTree, k int) (Candidate, Branch, error) {
 	return cand, rt.Branch(), nil
 }
 
+// FallbackOrder ranks the K bandwidth classes to try when class k cannot be
+// served (its variant is quarantined or fails to compose): k itself first,
+// then every lower class in descending order, then the higher classes in
+// ascending order. Lower classes are preferred because they compose lighter
+// edge-side variants — degrading quality is safer than demanding more
+// bandwidth from a link that may not have it.
+func FallbackOrder(k, K int) []int {
+	if K <= 0 {
+		return nil
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k >= K {
+		k = K - 1
+	}
+	order := make([]int, 0, K)
+	for i := k; i >= 0; i-- {
+		order = append(order, i)
+	}
+	for i := k + 1; i < K; i++ {
+		order = append(order, i)
+	}
+	return order
+}
+
 // Branch returns the path taken so far.
 func (r *Runtime) Branch() Branch {
 	b := Branch{

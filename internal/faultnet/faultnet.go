@@ -106,6 +106,77 @@ type Spec struct {
 	// Outages are scheduled windows during which every read and write on the
 	// connection fails with an injected reset.
 	Outages []Window
+	// WriteGate, when set, stalls exactly one write across all connections
+	// sharing the gate: the first Write after the gate is armed parks until
+	// Release. Unlike resets and drops this injects a silent wedge — no
+	// error, no bytes — which is what a frozen peer or a hung middlebox
+	// looks like from the edge.
+	WriteGate *Gate
+}
+
+// Gate is a one-shot write stall shared between connections. Arm it, and the
+// first write on any gated connection parks — without error and without
+// delivering bytes — until Release. It models the failure the worker
+// supervisor exists for: a request path that is neither progressing nor
+// failing.
+type Gate struct {
+	mu       sync.Mutex
+	armed    bool
+	claimed  bool
+	released bool
+	ch       chan struct{}
+}
+
+// NewGate returns an unarmed gate.
+func NewGate() *Gate {
+	return &Gate{ch: make(chan struct{})}
+}
+
+// Arm makes the next gated write stall. Arming an already-released gate has
+// no effect: a gate is one-shot.
+func (g *Gate) Arm() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.released {
+		g.armed = true
+	}
+}
+
+// claim reports whether the calling write is the one that must stall; only
+// the first claim after Arm wins.
+func (g *Gate) claim() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.armed || g.claimed || g.released {
+		return false
+	}
+	g.claimed = true
+	return true
+}
+
+// wait parks the claiming writer until Release.
+func (g *Gate) wait() { <-g.ch }
+
+// Claimed reports whether some write has claimed (and is or was stalled on)
+// the gate — tests use it to know the wedge is in place before advancing
+// the clock.
+func (g *Gate) Claimed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.claimed
+}
+
+// Release unblocks the stalled writer, if any, and permanently disarms the
+// gate. Idempotent.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.released {
+		return
+	}
+	g.released = true
+	g.armed = false
+	close(g.ch)
 }
 
 // Validate checks the spec parameters.
@@ -263,6 +334,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return len(p), nil
 	}
 	c.mu.Unlock()
+	// The stall gate parks outside c.mu so Reads, deadline updates and Close
+	// on this connection keep working while the write is wedged.
+	if gate := c.spec.WriteGate; gate != nil && gate.claim() {
+		gate.wait()
+	}
 	if d := c.delay(len(p)); d > 0 {
 		time.Sleep(d)
 	}

@@ -1,0 +1,63 @@
+package faultnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGateStallsExactlyOneWrite(t *testing.T) {
+	gate := NewGate()
+	spec := Spec{WriteGate: gate}
+	c1, peer1 := pipe(t, spec, NewManualClock())
+	c2, peer2 := pipe(t, spec, NewManualClock())
+	_, done1 := drain(peer1)
+	_, done2 := drain(peer2)
+
+	// Unarmed gate: traffic flows.
+	if _, err := c1.Write([]byte("before")); err != nil {
+		t.Fatalf("write through unarmed gate: %v", err)
+	}
+
+	gate.Arm()
+	wrote := make(chan error, 1)
+	go func() { // tracked by the wrote channel
+		_, err := c1.Write([]byte("stalled frame"))
+		wrote <- err
+	}()
+	// The armed gate must capture the write: Claimed flips, nothing lands.
+	deadline := time.Now().Add(2 * time.Second) //cadmc:allow walltime -- test-side timeout, not scenario time
+	for !gate.Claimed() {
+		if time.Now().After(deadline) { //cadmc:allow walltime -- test-side timeout, not scenario time
+			t.Fatal("gate never claimed the write")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed through an armed gate: %v", err)
+	default:
+	}
+
+	// Only the FIRST write stalls: a second connection sharing the gate
+	// keeps flowing while the first is wedged.
+	if _, err := c2.Write([]byte("unaffected")); err != nil {
+		t.Fatalf("second conn write while gate claimed: %v", err)
+	}
+
+	// Release unwedges the stalled writer; the bytes are delivered.
+	gate.Release()
+	if err := <-wrote; err != nil {
+		t.Fatalf("write after release: %v", err)
+	}
+	// A released gate is one-shot: re-arming does nothing.
+	gate.Arm()
+	if _, err := c1.Write([]byte("after")); err != nil {
+		t.Fatalf("write through released gate: %v", err)
+	}
+	gate.Release() // idempotent
+
+	_ = c1.Close()
+	_ = c2.Close()
+	<-done1
+	<-done2
+}

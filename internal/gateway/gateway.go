@@ -27,6 +27,7 @@ package gateway
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,10 @@ var (
 	ErrSessionLimit = errors.New("gateway: session outstanding limit reached")
 	// ErrClosed sheds a request because the gateway is shutting down.
 	ErrClosed = errors.New("gateway: closed")
+	// ErrBudgetExceeded completes a request whose deadline budget ran out
+	// before a worker could execute it. Unlike the shed errors it is a
+	// completion: the caller receives a definitive Result carrying it.
+	ErrBudgetExceeded = errors.New("gateway: request budget exceeded")
 )
 
 // Config tunes the gateway.
@@ -76,6 +81,19 @@ type Config struct {
 	NewOffloader func(worker int) (serving.Offloader, error)
 	// CloseOffloader releases a channel built by NewOffloader; may be nil.
 	CloseOffloader func(o serving.Offloader) error
+	// StallTimeout arms the worker supervisor: a worker that has held the
+	// same batch without a heartbeat for longer than this is declared wedged,
+	// abandoned, and replaced, and its batch is re-queued onto the
+	// replacement. Zero disables supervision.
+	StallTimeout time.Duration
+	// SupervisorPoll is the watchdog's check interval (default
+	// StallTimeout/4 when supervision is enabled).
+	SupervisorPoll time.Duration
+	// RequestBudget is each request's admission-to-completion deadline
+	// budget. Workers pre-shed requests whose budget has already expired
+	// (completing them with ErrBudgetExceeded) and bound offload attempts by
+	// the remaining budget. Zero means no budget.
+	RequestBudget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -94,11 +112,20 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = faultnet.NewClock()
 	}
+	if c.StallTimeout > 0 && c.SupervisorPoll <= 0 {
+		c.SupervisorPoll = c.StallTimeout / 4
+		if c.SupervisorPoll <= 0 {
+			c.SupervisorPoll = time.Millisecond
+		}
+	}
 	return c
 }
 
 // Result is one completed request's outcome.
 type Result struct {
+	// RequestID echoes the request's unique admission id; tests use it to
+	// prove no request is answered twice across worker restarts.
+	RequestID uint64
 	// Logits is the model output; nil when Err is set.
 	Logits []float64
 	// Route records where the inference completed.
@@ -138,6 +165,21 @@ type Report struct {
 	MeanBatch       float64
 	// Swaps counts variant hot-swaps after the initial variant was set.
 	Swaps int64
+	// Quarantines counts branch signatures quarantined after failing
+	// pre-swap integrity verification.
+	Quarantines int64
+	// Rollbacks counts polls where the desired bandwidth class could not be
+	// served (its variant quarantined) and the gateway fell back to a
+	// healthy variant instead.
+	Rollbacks int64
+	// Restarts counts wedged workers the supervisor abandoned and replaced.
+	Restarts int64
+	// Requeued counts in-flight requests handed from a wedged worker to its
+	// replacement. Each is still completed exactly once.
+	Requeued int64
+	// BudgetExpired counts requests completed with ErrBudgetExceeded because
+	// their deadline budget ran out before execution.
+	BudgetExpired int64
 	// Routes aggregates the per-route executor stats across all workers and
 	// variants.
 	Routes serving.SplitStats
@@ -169,9 +211,20 @@ type Gateway struct {
 	errored       atomic.Int64
 	batches       atomic.Int64
 	batchedReqs   atomic.Int64
+	nextID        atomic.Uint64
+	nextWorker    atomic.Int64
+
+	quarantines   atomic.Int64
+	rollbacks     atomic.Int64
+	restarts      atomic.Int64
+	requeued      atomic.Int64
+	budgetExpired atomic.Int64
+
+	supDone chan struct{}
 
 	mu          sync.Mutex
 	workers     []*worker
+	retired     []*worker
 	finalRoutes serving.SplitStats
 	latencies   []float64
 	queueMS     []float64
@@ -220,27 +273,44 @@ func (g *Gateway) Start() error {
 		return errors.New("gateway: already started")
 	}
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	for i := 0; i < g.cfg.Workers; i++ {
-		w := &worker{id: i, g: g, execs: make(map[string]*serving.SplitExecutor)}
-		if g.cfg.NewOffloader != nil {
-			off, err := g.cfg.NewOffloader(i)
-			if err != nil {
-				// Tear down the workers already wired before reporting.
-				for _, prev := range g.workers {
-					prev.closeOffloader()
-				}
-				g.workers = nil
-				g.started.Store(false)
-				return fmt.Errorf("gateway: offloader for worker %d: %w", i, err)
+		w, err := g.newWorker()
+		if err != nil {
+			// Tear down the workers already wired before reporting.
+			for _, prev := range g.workers {
+				prev.closeOffloader()
 			}
-			w.offloader = off
+			g.workers = nil
+			g.started.Store(false)
+			g.mu.Unlock()
+			return err
 		}
 		g.workers = append(g.workers, w)
 		g.wg.Add(1)
-		go w.run(&g.wg)
+		go w.run(&g.wg, nil)
+	}
+	g.mu.Unlock()
+	if g.cfg.StallTimeout > 0 {
+		g.supDone = make(chan struct{})
+		g.wg.Add(1)
+		go g.supervise(&g.wg)
 	}
 	return nil
+}
+
+// newWorker allocates the next worker, wiring its offload channel. Caller
+// holds g.mu.
+func (g *Gateway) newWorker() (*worker, error) {
+	id := int(g.nextWorker.Add(1) - 1)
+	w := &worker{id: id, g: g, execs: make(map[string]*serving.SplitExecutor)}
+	if g.cfg.NewOffloader != nil {
+		off, err := g.cfg.NewOffloader(id)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: offloader for worker %d: %w", id, err)
+		}
+		w.offloader = off
+	}
+	return w, nil
 }
 
 // Submit offers one request. On admission it returns a channel that will
@@ -256,6 +326,7 @@ func (g *Gateway) Submit(session string, x *tensor.Tensor) (<-chan Result, error
 		return nil, errors.New("gateway: nil input")
 	}
 	req := &request{
+		id:      g.nextID.Add(1),
 		session: session,
 		input:   x,
 		done:    make(chan Result, 1),
@@ -282,6 +353,9 @@ func (g *Gateway) Submit(session string, x *tensor.Tensor) (<-chan Result, error
 func (g *Gateway) Stop() Report {
 	g.q.close()
 	if g.started.Load() {
+		if g.supDone != nil {
+			close(g.supDone)
+		}
 		g.wg.Wait()
 	} else {
 		// Never started: no workers will drain the backlog. Complete every
@@ -292,8 +366,8 @@ func (g *Gateway) Stop() Report {
 		}
 	}
 	g.mu.Lock()
-	workers := g.workers
-	g.workers = nil
+	workers := append(g.workers, g.retired...)
+	g.workers, g.retired = nil, nil
 	for _, w := range workers {
 		g.finalRoutes.Add(w.stats())
 	}
@@ -317,6 +391,11 @@ func (g *Gateway) Report() Report {
 		Batches:         g.batches.Load(),
 		BatchedRequests: g.batchedReqs.Load(),
 		Swaps:           g.swaps.Load(),
+		Quarantines:     g.quarantines.Load(),
+		Rollbacks:       g.rollbacks.Load(),
+		Restarts:        g.restarts.Load(),
+		Requeued:        g.requeued.Load(),
+		BudgetExpired:   g.budgetExpired.Load(),
 	}
 	if r.Batches > 0 {
 		r.MeanBatch = float64(r.BatchedRequests) / float64(r.Batches)
@@ -325,6 +404,9 @@ func (g *Gateway) Report() Report {
 	lat := append([]float64(nil), g.latencies...)
 	qms := append([]float64(nil), g.queueMS...)
 	for _, w := range g.workers {
+		r.Routes.Add(w.stats())
+	}
+	for _, w := range g.retired {
 		r.Routes.Add(w.stats())
 	}
 	if g.workers == nil {
@@ -355,11 +437,19 @@ func (g *Gateway) Report() Report {
 	return r
 }
 
-// Percentile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
-// sample set by linear interpolation; 0 for an empty set.
+// Percentile returns the q-quantile of an ascending-sorted sample set by
+// linear interpolation. It is total: an empty set or a NaN q yields 0, and
+// q is clamped into [0, 1] — a caller asking for the "110th percentile"
+// gets the max, never an out-of-range read or an extrapolated value.
 func Percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	if len(sorted) == 0 || math.IsNaN(q) {
 		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(pos)
@@ -370,10 +460,16 @@ func Percentile(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
-// complete delivers one result and updates accounting. Every admitted
-// request passes through here exactly once.
-func (g *Gateway) complete(req *request, res Result) {
-	res.QueueMS = durMS(req.dispatch - req.enq)
+// complete delivers one result and updates accounting. The settled CAS makes
+// it exactly-once per request no matter how many workers attempt it: after a
+// restart both the wedged original and its replacement may finish the same
+// request, and whichever lands first wins while the other becomes a no-op.
+func (g *Gateway) complete(req *request, res Result) bool {
+	if !req.settled.CompareAndSwap(false, true) {
+		return false
+	}
+	res.RequestID = req.id
+	res.QueueMS = durMS(time.Duration(req.dispatch.Load()) - req.enq)
 	res.TotalMS = durMS(g.cfg.Clock.Now() - req.enq)
 	g.q.release(req.session)
 	g.completed.Add(1)
@@ -385,6 +481,7 @@ func (g *Gateway) complete(req *request, res Result) {
 	g.queueMS = append(g.queueMS, res.QueueMS)
 	g.mu.Unlock()
 	req.done <- res
+	return true
 }
 
 func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
@@ -440,20 +441,39 @@ func TestVariantProviderDeterministicAndCached(t *testing.T) {
 	}
 }
 
+// Percentile must be total: any (sample set, q) pair — empty, out-of-range,
+// even NaN — yields a finite, in-range value, never a panic or a NaN.
 func TestPercentile(t *testing.T) {
-	if got := Percentile(nil, 0.5); got != 0 { //cadmc:allow floateq — exact zero for empty input
-		t.Fatalf("empty percentile %v", got)
-	}
 	s := []float64{1, 2, 3, 4}
-	if got := Percentile(s, 0); got != 1 { //cadmc:allow floateq — endpoints are exact
-		t.Fatalf("p0 %v", got)
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty-mid", nil, 0.5, 0},
+		{"empty-nan", nil, math.NaN(), 0},
+		{"empty-over", []float64{}, 2, 0},
+		{"p0", s, 0, 1},
+		{"p100", s, 1, 4},
+		{"p50", s, 0.5, 2.5},
+		{"p25", s, 0.25, 1.75},
+		{"negative-q-clamps-to-min", s, -0.5, 1},
+		{"over-one-clamps-to-max", s, 1.5, 4},
+		{"negative-inf-q", s, math.Inf(-1), 1},
+		{"positive-inf-q", s, math.Inf(1), 4},
+		{"nan-q", s, math.NaN(), 0},
+		{"single-sample", []float64{7}, 0.99, 7},
 	}
-	if got := Percentile(s, 1); got != 4 { //cadmc:allow floateq — endpoints are exact
-		t.Fatalf("p100 %v", got)
-	}
-	mid := Percentile(s, 0.5)
-	if mid < 2.4 || mid > 2.6 {
-		t.Fatalf("p50 %v, want 2.5", mid)
+	for _, c := range cases {
+		got := Percentile(c.sorted, c.q)
+		if math.IsNaN(got) {
+			t.Errorf("%s: Percentile returned NaN", c.name)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.sorted, c.q, got, c.want)
+		}
 	}
 }
 

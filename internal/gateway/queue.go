@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cadmc/internal/tensor"
@@ -9,13 +10,22 @@ import (
 
 // request is one admitted inference travelling through the pipeline.
 type request struct {
+	// id is unique per admitted request; results echo it so tests can prove
+	// no request was completed twice after a worker restart.
+	id      uint64
 	session string
 	input   *tensor.Tensor
 	done    chan Result
-	// enq and dispatch are gateway-clock timestamps: admission and the
-	// moment a worker picked the request into a batch.
-	enq      time.Duration
-	dispatch time.Duration
+	// enq is the gateway-clock admission timestamp.
+	enq time.Duration
+	// dispatch is the gateway-clock time a worker picked the request into a
+	// batch, as clock nanos. It is atomic because after a worker restart the
+	// replacement re-stamps it while the wedged original may still be
+	// holding a reference.
+	dispatch atomic.Int64
+	// settled flips exactly once, by whichever worker completes the request
+	// first — the exactly-once guard that makes restart + requeue safe.
+	settled atomic.Bool
 }
 
 // admitQueue is the bounded admission stage: a buffered channel carries the

@@ -17,8 +17,12 @@ type SwapManager struct {
 	provider *VariantProvider
 	monitor  network.Monitor
 	classes  []float64
-	class    int
-	swaps    int64
+	// class is the bandwidth class actually being served; desired is what
+	// the monitor last asked for. They diverge while the desired class's
+	// variant is quarantined and a healthy fallback serves in its place.
+	class   int
+	desired int
+	swaps   int64
 }
 
 // NewSwapManager wires a gateway to a monitor through a variant provider and
@@ -35,6 +39,7 @@ func NewSwapManager(gw *Gateway, provider *VariantProvider, monitor network.Moni
 		monitor:  monitor,
 		classes:  provider.tree.ClassMbps,
 		class:    -1,
+		desired:  -1,
 	}
 	if _, err := m.Poll(startTMS); err != nil {
 		return nil, err
@@ -43,17 +48,45 @@ func NewSwapManager(gw *Gateway, provider *VariantProvider, monitor network.Moni
 }
 
 // Poll samples the monitor at trace time tMS and swaps the gateway variant
-// if the bandwidth class changed. It returns true when a swap (or the
-// initial install) happened.
+// if the bandwidth class changed. Before any variant reaches the request
+// path its live weights are re-verified against the signed manifest sealed
+// at composition time; a mismatch quarantines the branch signature and rolls
+// back to the healthiest variant the fallback order can still produce — the
+// gateway keeps serving last-known-good rather than swapping in poison.
+// Poll returns true when a swap (or the initial install) happened.
 func (m *SwapManager) Poll(tMS float64) (bool, error) {
 	w := m.monitor.EstimateMbps(tMS)
 	k := network.Classify(m.classes, w)
-	if k == m.class {
+	if k == m.desired && k == m.class {
+		// Steady state: the class the monitor wants is the class being
+		// served, and what is being served was verified when installed.
 		return false, nil
 	}
-	v, err := m.provider.ForClass(k)
+	m.desired = k
+	v, served, quarantined, err := m.provider.ForClassHealthy(k)
+	if quarantined > 0 {
+		m.gw.quarantines.Add(int64(quarantined))
+	}
 	if err != nil {
-		return false, fmt.Errorf("gateway: swap to class %d (%.2f Mbps): %w", k, w, err)
+		if m.class >= 0 {
+			// Every candidate is quarantined or broken: keep serving the
+			// last-known-good variant already installed. This is a rollback,
+			// not a failure — requests keep flowing.
+			m.gw.rollbacks.Add(1)
+			return false, nil
+		}
+		return false, fmt.Errorf("gateway: install class %d (%.2f Mbps): %w", k, w, err)
+	}
+	if served != k {
+		// The desired class could not be served; a healthy fallback was
+		// picked instead.
+		m.gw.rollbacks.Add(1)
+	}
+	if served == m.class && m.gw.CurrentVariant() == v {
+		// The healthy choice is exactly what is already serving (e.g. the
+		// desired class's variant was quarantined and the fallback is the
+		// current one): no swap to perform.
+		return false, nil
 	}
 	if _, err := m.gw.SetVariant(v); err != nil {
 		return false, err
@@ -61,12 +94,16 @@ func (m *SwapManager) Poll(tMS float64) (bool, error) {
 	if m.class >= 0 {
 		m.swaps++
 	}
-	m.class = k
+	m.class = served
 	return true, nil
 }
 
 // Class returns the bandwidth class currently being served.
 func (m *SwapManager) Class() int { return m.class }
+
+// Desired returns the class the monitor last asked for; it differs from
+// Class while a quarantine keeps a fallback variant serving.
+func (m *SwapManager) Desired() int { return m.desired }
 
 // Swaps counts class changes after the initial install.
 func (m *SwapManager) Swaps() int64 { return m.swaps }

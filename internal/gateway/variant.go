@@ -1,14 +1,18 @@
 package gateway
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"cadmc/internal/core"
+	"cadmc/internal/integrity"
 	"cadmc/internal/nn"
 )
 
@@ -33,6 +37,10 @@ type Variant struct {
 	Cut int
 	// Branch is the tree walk that produced the composition.
 	Branch core.Branch
+	// Manifest is the signed integrity record computed when the weights were
+	// instantiated; the swap manager re-verifies the live Net against it
+	// before every hot-swap.
+	Manifest *integrity.Manifest
 
 	inflight atomic.Int64
 }
@@ -61,9 +69,13 @@ type VariantProvider struct {
 	// register, when set, publishes each newly built net to the cloud side
 	// (e.g. serving.Server.Register) so partitioned variants can offload.
 	register func(id string, net *nn.Net) error
+	// macKey seals every variant manifest; it is derived from the provider
+	// seed, so identically seeded providers agree on what a valid seal is.
+	macKey []byte
 
-	mu    sync.Mutex
-	cache map[string]*Variant
+	mu         sync.Mutex
+	cache      map[string]*Variant
+	quarantine map[string]error
 }
 
 // NewVariantProvider builds a provider over a composed model tree. register
@@ -73,11 +85,21 @@ func NewVariantProvider(tree *core.ModelTree, seed int64, register func(id strin
 		return nil, fmt.Errorf("gateway: variant provider needs a composed model tree")
 	}
 	return &VariantProvider{
-		tree:     tree,
-		seed:     seed,
-		register: register,
-		cache:    make(map[string]*Variant),
+		tree:       tree,
+		seed:       seed,
+		register:   register,
+		macKey:     deriveMACKey(seed),
+		cache:      make(map[string]*Variant),
+		quarantine: make(map[string]error),
 	}, nil
+}
+
+// deriveMACKey stretches the deployment seed into a manifest-sealing key.
+func deriveMACKey(seed int64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	sum := sha256.Sum256(append([]byte("cadmc/variant-manifest/"), buf[:]...))
+	return sum[:]
 }
 
 // ForClass returns the variant serving bandwidth class k, composing and
@@ -108,6 +130,12 @@ func (p *VariantProvider) ForClass(k int) (*Variant, error) {
 		Cut:     cand.Cut,
 		Branch:  branch,
 	}
+	// Seal the freshly instantiated weights: everything the gateway serves
+	// later is checked against this record.
+	v.Manifest, err = integrity.NewManifest(net, v.ModelID, sig, k, p.macKey)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: manifest for variant %s: %w", sig, err)
+	}
 	if p.register != nil && v.Cut < len(net.Model.Layers)-1 {
 		if err := p.register(v.ModelID, net); err != nil {
 			return nil, fmt.Errorf("gateway: register variant %s: %w", sig, err)
@@ -115,6 +143,89 @@ func (p *VariantProvider) ForClass(k int) (*Variant, error) {
 	}
 	p.cache[sig] = v
 	return v, nil
+}
+
+// Verify re-checks a variant's live weights against its sealed manifest.
+// It is called immediately before every hot-swap, so corruption that crept
+// in after instantiation is caught before the weights reach the request
+// path.
+func (p *VariantProvider) Verify(v *Variant) error {
+	if v == nil || v.Manifest == nil {
+		return fmt.Errorf("gateway: verify a variant without a manifest")
+	}
+	return v.Manifest.Verify(v.Net, p.macKey)
+}
+
+// Quarantine marks a branch signature as unserveable. Quarantined variants
+// are skipped by ForClassHealthy until the process restarts — there is no
+// in-process un-quarantine, because the only safe recovery from corrupt
+// weights is rebuilding them.
+func (p *VariantProvider) Quarantine(sig string, cause error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.quarantine[sig]; !ok {
+		p.quarantine[sig] = cause
+	}
+	// The poisoned entry stays in the cache on purpose: deleting it would let
+	// a later ForClass rebuild pristine weights from the deterministic seed
+	// and silently un-quarantine the signature. Quarantine is sticky for the
+	// life of the process.
+}
+
+// IsQuarantined reports whether a branch signature is quarantined.
+func (p *VariantProvider) IsQuarantined(sig string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.quarantine[sig]
+	return ok
+}
+
+// Quarantined returns the quarantined signatures in sorted order.
+func (p *VariantProvider) Quarantined() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sigs := make([]string, 0, len(p.quarantine))
+	for sig := range p.quarantine {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+// ForClassHealthy returns a verified, non-quarantined variant for bandwidth
+// class k, walking the fallback order (k, then lower classes, then higher)
+// when k's own variant is quarantined or fails verification. A verification
+// failure quarantines the offending signature as a side effect. It returns
+// the variant, the class actually served, and the number of signatures newly
+// quarantined during this call.
+func (p *VariantProvider) ForClassHealthy(k int) (*Variant, int, int, error) {
+	quarantined := 0
+	var firstErr error
+	for _, class := range core.FallbackOrder(k, p.tree.K()) {
+		v, err := p.ForClass(class)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if p.IsQuarantined(v.Sig) {
+			continue
+		}
+		if err := p.Verify(v); err != nil {
+			p.Quarantine(v.Sig, err)
+			quarantined++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return v, class, quarantined, nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("all classes quarantined")
+	}
+	return nil, -1, quarantined, fmt.Errorf("gateway: no healthy variant for class %d: %w", k, firstErr)
 }
 
 // variantSeed mixes the provider seed with the branch signature so each

@@ -1,7 +1,10 @@
 package gateway
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cadmc/internal/serving"
 	"cadmc/internal/tensor"
@@ -17,16 +20,30 @@ type worker struct {
 	g         *Gateway
 	offloader serving.Offloader
 
+	// abandoned is set by the supervisor when the worker is declared wedged
+	// and replaced. The worker may still be blocked inside an offload; once
+	// that unblocks it exits its loop instead of stealing more work.
+	abandoned atomic.Bool
+	// heartbeat is the gateway-clock time (nanos) of the worker's last
+	// observable progress: batch pickup and batch completion. A worker whose
+	// heartbeat goes stale while it holds a batch is wedged.
+	heartbeat atomic.Int64
+
 	mu    sync.Mutex
+	cur   []*request // batch currently executing; nil when idle
 	execs map[string]*serving.SplitExecutor
 }
 
-// run is the worker loop: pop a coalesced batch, execute it on the variant
-// current at dispatch time, deliver each result. It exits when the queue is
-// closed and drained, which is what makes Stop lossless.
-func (w *worker) run(wg *sync.WaitGroup) {
+// run is the worker loop: serve the handoff batch first if the supervisor
+// gave us one (restart re-queue), then pop coalesced batches until the queue
+// is closed and drained — which is what makes Stop lossless — or until the
+// supervisor abandons this worker.
+func (w *worker) run(wg *sync.WaitGroup, handoff []*request) {
 	defer wg.Done()
-	for {
+	if len(handoff) > 0 {
+		w.serve(handoff)
+	}
+	for !w.abandoned.Load() {
 		batch := w.g.q.popBatch(w.g.cfg.MaxBatch, w.g.cfg.MaxWait)
 		if batch == nil {
 			return
@@ -41,39 +58,97 @@ func (w *worker) run(wg *sync.WaitGroup) {
 func (w *worker) serve(batch []*request) {
 	v := w.g.variant.Load()
 	now := w.g.cfg.Clock.Now()
+
+	// Pre-shed: skip requests another worker already settled (a re-queued
+	// batch can overlap with what the wedged original eventually finishes)
+	// and answer expired budgets without executing anything.
+	budget := w.g.cfg.RequestBudget
+	live := make([]*request, 0, len(batch))
+	minRemaining := time.Duration(0)
 	for _, r := range batch {
-		r.dispatch = now
+		if r.settled.Load() {
+			continue
+		}
+		r.dispatch.Store(int64(now))
+		if budget > 0 {
+			remaining := budget - (now - r.enq)
+			if remaining <= 0 {
+				if w.g.complete(r, Result{VariantSig: v.Sig, Err: ErrBudgetExceeded}) {
+					w.g.budgetExpired.Add(1)
+				}
+				continue
+			}
+			if len(live) == 0 || remaining < minRemaining {
+				minRemaining = remaining
+			}
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
 	}
 	w.g.batches.Add(1)
-	w.g.batchedReqs.Add(int64(len(batch)))
+	w.g.batchedReqs.Add(int64(len(live)))
 
-	v.inflight.Add(int64(len(batch)))
-	defer v.inflight.Add(-int64(len(batch)))
+	// Publish the batch for the supervisor: heartbeat first, then cur, so a
+	// watchdog that sees cur != nil always sees a heartbeat at least as
+	// fresh as the pickup.
+	w.heartbeat.Store(int64(now))
+	w.mu.Lock()
+	w.cur = live
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.cur = nil
+		w.mu.Unlock()
+		w.heartbeat.Store(int64(w.g.cfg.Clock.Now()))
+	}()
+
+	v.inflight.Add(int64(len(live)))
+	defer v.inflight.Add(-int64(len(live)))
 
 	exec := w.executor(v)
-	xs := make([]*tensor.Tensor, len(batch))
-	for i, r := range batch {
+	xs := make([]*tensor.Tensor, len(live))
+	for i, r := range live {
 		xs[i] = r.input
 	}
-	outcomes, err := exec.InferBatch(xs, v.Cut)
+	var (
+		outcomes []serving.BatchOutcome
+		err      error
+	)
+	if budget > 0 {
+		// The batch shares one offload path, so bound it by the tightest
+		// remaining budget in the batch.
+		outcomes, err = exec.InferBatchBudget(xs, v.Cut, minRemaining)
+	} else {
+		outcomes, err = exec.InferBatch(xs, v.Cut)
+	}
 	if err != nil {
 		// Whole-batch rejection: answer every request with the error rather
 		// than dropping any.
-		for _, r := range batch {
-			w.g.complete(r, Result{VariantSig: v.Sig, BatchSize: len(batch), Err: err})
+		for _, r := range live {
+			w.g.complete(r, Result{VariantSig: v.Sig, BatchSize: len(live), Err: err})
 		}
 		return
 	}
-	for i, r := range batch {
+	for i, r := range live {
 		o := outcomes[i]
-		w.g.complete(r, Result{
+		if w.g.complete(r, Result{
 			Logits:     o.Logits,
 			Route:      o.Route,
 			VariantSig: v.Sig,
-			BatchSize:  len(batch),
+			BatchSize:  len(live),
 			Err:        o.Err,
-		})
+		}) && o.Err != nil && errorIsBudget(o.Err) {
+			w.g.budgetExpired.Add(1)
+		}
 	}
+}
+
+// errorIsBudget reports whether an outcome failed on an exhausted deadline
+// budget (at either layer of the stack).
+func errorIsBudget(err error) bool {
+	return errors.Is(err, serving.ErrBudgetExhausted) || errors.Is(err, ErrBudgetExceeded)
 }
 
 // executor returns this worker's executor for a variant, building it on

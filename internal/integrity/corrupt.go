@@ -1,0 +1,122 @@
+package integrity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cadmc/internal/nn"
+)
+
+// Mode selects a corruption fault. Each mode models a distinct way variant
+// bytes rot in the field: a flipped storage or DMA bit, a truncated read
+// that leaves a zeroed tail, and arithmetic poisoning that propagates NaN
+// through every downstream layer.
+type Mode int
+
+// Corruption modes.
+const (
+	// BitFlip flips one uniformly chosen bit of one weight element.
+	BitFlip Mode = iota + 1
+	// Truncate zeroes the tail half of one tensor, as a short read would.
+	Truncate
+	// NaNPoison writes NaN into a handful of elements.
+	NaNPoison
+)
+
+// String renders the mode name.
+func (m Mode) String() string {
+	switch m {
+	case BitFlip:
+		return "bit-flip"
+	case Truncate:
+		return "truncate"
+	case NaNPoison:
+		return "nan-poison"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Report describes one injected corruption, for logs and assertions.
+type Report struct {
+	Mode Mode
+	// Tensor is the name of the poisoned tensor in the checksum walk.
+	Tensor string
+	// Elems is how many elements were altered.
+	Elems int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s on %s (%d elements)", r.Mode, r.Tensor, r.Elems)
+}
+
+// Corruptor injects weight corruption deterministically: the same seed and
+// call sequence poisons the same tensors in the same way, so a chaos
+// schedule that corrupts variants replays bit-identically — the same
+// contract faultnet gives the network path, applied to model storage.
+type Corruptor struct {
+	rng *rand.Rand
+}
+
+// NewCorruptor builds an injector whose fault stream derives entirely from
+// seed.
+func NewCorruptor(seed int64) *Corruptor {
+	return &Corruptor{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Corrupt applies one fault of the given mode to a deterministically chosen
+// parameter tensor of the net, mutating the net in place, and reports what
+// it did. Weight-free nets cannot be corrupted and return an error.
+func (c *Corruptor) Corrupt(net *nn.Net, mode Mode) (Report, error) {
+	if net == nil {
+		return Report{}, errors.New("integrity: corrupt a nil net")
+	}
+	params := net.ParamTensors()
+	targets := params[:0]
+	for _, p := range params {
+		if p.Tensor.Len() > 0 {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return Report{}, errors.New("integrity: net has no corruptible parameters")
+	}
+	// A fault must be visible: truncating an already-zero tail, or poisoning
+	// the same element twice, would leave the digest unchanged and the
+	// schedule would silently inject nothing. Retry deterministic picks until
+	// the target tensor's digest actually moved (a bit flip always moves it,
+	// so the loop terminates).
+	for attempt := 0; attempt < 64; attempt++ {
+		p := targets[c.rng.Intn(len(targets))]
+		before := p.Tensor.Checksum64()
+		data := p.Tensor.Data
+		rep := Report{Mode: mode, Tensor: p.Name}
+		switch mode {
+		case BitFlip:
+			i := c.rng.Intn(len(data))
+			bit := uint(c.rng.Intn(64))
+			data[i] = math.Float64frombits(math.Float64bits(data[i]) ^ (1 << bit))
+			rep.Elems = 1
+		case Truncate:
+			lo := len(data) / 2
+			for i := lo; i < len(data); i++ {
+				data[i] = 0
+			}
+			rep.Elems = len(data) - lo
+		case NaNPoison:
+			n := 1 + c.rng.Intn(4)
+			for j := 0; j < n; j++ {
+				data[c.rng.Intn(len(data))] = math.NaN()
+			}
+			rep.Elems = n
+		default:
+			return Report{}, fmt.Errorf("integrity: unknown corruption mode %d", int(mode))
+		}
+		if p.Tensor.Checksum64() != before {
+			return rep, nil
+		}
+	}
+	return Report{}, fmt.Errorf("integrity: %s produced no visible fault after 64 attempts", mode)
+}

@@ -1,0 +1,193 @@
+// Package integrity guards the serving plane against corrupt model state:
+// the context-aware gateway hot-swaps composed variants in and out of the
+// request path, which means a bit-flipped, truncated or NaN-poisoned weight
+// tensor would be served to every session the moment a swap lands. This
+// package makes variant bytes verifiable — deterministic per-tensor FNV-64a
+// checksums rolled up into a manifest whose root is sealed with an
+// HMAC-SHA256 MAC — and provides a seeded corruption injector (the
+// storage-side twin of faultnet's network chaos) so the detection,
+// quarantine and rollback paths can be exercised reproducibly.
+//
+// The trust model is operational, not adversarial key exchange: the builder
+// and the verifier share the MAC key (derived from the deployment seed), so
+// the MAC proves "this manifest was produced by the provider that composed
+// the variant and has not been edited", while the checksums prove "the
+// weights serving right now are the weights the manifest was computed over".
+package integrity
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cadmc/internal/nn"
+)
+
+// TensorSum is one parameter tensor's row in a manifest.
+type TensorSum struct {
+	// Layer and Name locate the tensor inside the net, in the deterministic
+	// order of nn's ParamTensors walk.
+	Layer int
+	Name  string
+	// Elems is the element count at manifest time; a structurally truncated
+	// tensor fails here before any checksum is compared.
+	Elems int
+	// Sum is the FNV-64a digest over the tensor's shape and raw float64
+	// bits.
+	Sum uint64
+}
+
+// Manifest is the signed integrity record of one composed variant. It is
+// computed when the variant provider instantiates the variant's weights and
+// re-verified immediately before every hot-swap that would put those weights
+// in the request path.
+type Manifest struct {
+	// ModelID and Sig echo the variant identity the manifest covers.
+	ModelID string
+	Sig     string
+	// Class is the bandwidth class the variant was composed for.
+	Class int
+	// Tensors holds one checksum row per parameter tensor, in walk order.
+	Tensors []TensorSum
+	// Root folds every row into a single FNV-64a digest.
+	Root uint64
+	// MAC is the HMAC-SHA256 seal over the identity fields and Root.
+	MAC []byte
+}
+
+// Sentinel and typed verification errors. errors.Is(err, ErrMismatch)
+// matches every way verification can fail; *MismatchError carries the first
+// offending tensor for diagnostics.
+var ErrMismatch = errors.New("integrity: manifest verification failed")
+
+// MismatchError reports the first tensor whose live digest disagrees with
+// the manifest.
+type MismatchError struct {
+	// Sig is the variant the manifest covers.
+	Sig string
+	// Name is the offending tensor ("" for structural or MAC failures).
+	Name string
+	// Want and Got are the recorded and recomputed digests.
+	Want, Got uint64
+	// Reason classifies the failure: "checksum", "structure", or "mac".
+	Reason string
+}
+
+func (e *MismatchError) Error() string {
+	if e.Name == "" {
+		return fmt.Sprintf("integrity: variant %s: %s verification failed", e.Sig, e.Reason)
+	}
+	return fmt.Sprintf("integrity: variant %s: tensor %s digest %#x, manifest records %#x",
+		e.Sig, e.Name, e.Got, e.Want)
+}
+
+// Unwrap ties every mismatch to the ErrMismatch sentinel.
+func (e *MismatchError) Unwrap() error { return ErrMismatch }
+
+// NewManifest walks the net's parameter tensors, records their digests, and
+// seals the result with the given MAC key. The same net, identity and key
+// always produce a byte-identical manifest.
+func NewManifest(net *nn.Net, modelID, sig string, class int, key []byte) (*Manifest, error) {
+	if net == nil {
+		return nil, errors.New("integrity: manifest of a nil net")
+	}
+	params := net.ParamTensors()
+	m := &Manifest{
+		ModelID: modelID,
+		Sig:     sig,
+		Class:   class,
+		Tensors: make([]TensorSum, len(params)),
+	}
+	for i, p := range params {
+		m.Tensors[i] = TensorSum{
+			Layer: p.Layer,
+			Name:  p.Name,
+			Elems: p.Tensor.Len(),
+			Sum:   p.Tensor.Checksum64(),
+		}
+	}
+	m.Root = rollup(m.Tensors)
+	m.MAC = m.mac(key)
+	return m, nil
+}
+
+// rollup folds the per-tensor rows into one digest using the same FNV-64a
+// fold the tensors themselves use.
+func rollup(rows []TensorSum) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	word := func(w uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= w & 0xff
+			h *= prime64
+			w >>= 8
+		}
+	}
+	word(uint64(len(rows)))
+	for _, r := range rows {
+		word(uint64(int64(r.Layer)))
+		for _, b := range []byte(r.Name) {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		word(uint64(int64(r.Elems)))
+		word(r.Sum)
+	}
+	return h
+}
+
+// mac seals the manifest identity and root digest under the key.
+func (m *Manifest) mac(key []byte) []byte {
+	h := hmac.New(sha256.New, key)
+	_, _ = h.Write([]byte(m.ModelID))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(m.Sig))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(m.Class)))
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], m.Root)
+	_, _ = h.Write(buf[:])
+	return h.Sum(nil)
+}
+
+// VerifyMAC checks only the seal: that the manifest's identity and root were
+// produced under the key and have not been edited since.
+func (m *Manifest) VerifyMAC(key []byte) error {
+	if !hmac.Equal(m.MAC, m.mac(key)) {
+		return &MismatchError{Sig: m.Sig, Reason: "mac"}
+	}
+	return nil
+}
+
+// Verify re-walks the live net and compares it against the manifest: MAC
+// first (an edited manifest must not vouch for anything), then tensor
+// count, then per-tensor structure and digest in walk order. It returns nil
+// only when the net is bit-identical to the weights the manifest was
+// computed over.
+func (m *Manifest) Verify(net *nn.Net, key []byte) error {
+	if net == nil {
+		return &MismatchError{Sig: m.Sig, Reason: "structure"}
+	}
+	if err := m.VerifyMAC(key); err != nil {
+		return err
+	}
+	params := net.ParamTensors()
+	if len(params) != len(m.Tensors) {
+		return &MismatchError{Sig: m.Sig, Reason: "structure"}
+	}
+	for i, p := range params {
+		row := m.Tensors[i]
+		if p.Name != row.Name || p.Tensor.Len() != row.Elems {
+			return &MismatchError{Sig: m.Sig, Name: p.Name, Reason: "structure"}
+		}
+		if got := p.Tensor.Checksum64(); got != row.Sum {
+			return &MismatchError{Sig: m.Sig, Name: p.Name, Want: row.Sum, Got: got, Reason: "checksum"}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package integrity
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cadmc/internal/nn"
+)
+
+func demoNet(t *testing.T, seed int64) *nn.Net {
+	t.Helper()
+	m := &nn.Model{
+		Name:    "integrity-demo",
+		Input:   nn.Shape{C: 3, H: 8, W: 8},
+		Classes: 4,
+		Layers: []nn.Layer{
+			nn.NewConv(3, 4, 3, 1, 1),
+			nn.NewReLU(),
+			nn.NewMaxPool(2, 2),
+			nn.NewFlatten(),
+			nn.NewFC(4*4*4, 4),
+		},
+	}
+	net, err := nn.NewNet(m, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+var testKey = []byte("integrity-test-key")
+
+func TestManifestRoundTrip(t *testing.T) {
+	net := demoNet(t, 9)
+	m, err := NewManifest(net, "gw/f0", "f0", 1, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(net, testKey); err != nil {
+		t.Fatalf("pristine net fails verification: %v", err)
+	}
+	if len(m.Tensors) == 0 || m.Root == 0 {
+		t.Fatalf("degenerate manifest: %d tensors, root %#x", len(m.Tensors), m.Root)
+	}
+	// Determinism: an identically seeded rebuild produces the same manifest.
+	m2, err := NewManifest(demoNet(t, 9), "gw/f0", "f0", 1, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Root != m.Root {
+		t.Fatalf("same seed, different roots: %#x vs %#x", m2.Root, m.Root)
+	}
+	// A differently seeded net must not verify against this manifest.
+	if err := m.Verify(demoNet(t, 10), testKey); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("foreign weights verified: %v", err)
+	}
+}
+
+func TestManifestMACRejectsTampering(t *testing.T) {
+	net := demoNet(t, 9)
+	m, err := NewManifest(net, "gw/f0", "f0", 1, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong key: the seal must not transfer between deployments.
+	if err := m.Verify(net, []byte("other-key")); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("foreign key accepted: %v", err)
+	}
+	// Edited manifest: recording the corrupted state without re-signing must
+	// fail at the MAC, not pass at the checksums.
+	m.Root ^= 1
+	var mm *MismatchError
+	err = m.Verify(net, testKey)
+	if !errors.As(err, &mm) || mm.Reason != "mac" {
+		t.Fatalf("edited manifest: %v, want MAC mismatch", err)
+	}
+}
+
+func TestCorruptorModesAreDetectedAndDeterministic(t *testing.T) {
+	for _, mode := range []Mode{BitFlip, Truncate, NaNPoison} {
+		t.Run(mode.String(), func(t *testing.T) {
+			net := demoNet(t, 21)
+			m, err := NewManifest(net, "gw/f0", "f0", 0, testKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := NewCorruptor(77).Corrupt(net, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Elems <= 0 || rep.Tensor == "" {
+				t.Fatalf("empty corruption report %+v", rep)
+			}
+			verr := m.Verify(net, testKey)
+			if !errors.Is(verr, ErrMismatch) {
+				t.Fatalf("corruption (%s) not detected: %v", rep, verr)
+			}
+			var mm *MismatchError
+			if !errors.As(verr, &mm) || mm.Name != rep.Tensor {
+				t.Fatalf("mismatch localised to %v, corruption hit %s", verr, rep.Tensor)
+			}
+			// Same seed, same fault: the injector replays bit-identically.
+			net2 := demoNet(t, 21)
+			rep2, err := NewCorruptor(77).Corrupt(net2, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep2 != rep {
+				t.Fatalf("replay diverged: %+v vs %+v", rep2, rep)
+			}
+			m2, err := NewManifest(net2, "gw/f0", "f0", 0, testKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc, err := NewManifest(net, "gw/f0", "f0", 0, testKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m2.Root != mc.Root {
+				t.Fatal("identically seeded corruption produced different nets")
+			}
+		})
+	}
+}
+
+func TestCorruptorRejectsNilAndUnknownMode(t *testing.T) {
+	if _, err := NewCorruptor(1).Corrupt(nil, BitFlip); err == nil {
+		t.Fatal("nil net accepted")
+	}
+	if _, err := NewCorruptor(1).Corrupt(demoNet(t, 1), Mode(99)); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"fmt"
+
+	"cadmc/internal/tensor"
+)
+
+// NamedParam is one parameter tensor with a stable, human-readable name —
+// the unit of the integrity layer's checksum walk.
+type NamedParam struct {
+	// Layer is the index of the layer the tensor belongs to.
+	Layer int
+	// Name identifies the tensor within the net, e.g. "L03.conv.weight" or
+	// "L05.fire.e3W". Names are unique and stable for a given architecture.
+	Name string
+	// Tensor is the live parameter storage (not a copy).
+	Tensor *tensor.Tensor
+}
+
+// ParamTensors walks every parameter tensor of the net in a deterministic
+// order: layer by layer, weight before bias, and Fire modules in the fixed
+// squeeze → expand-1×1 → expand-3×3 order. Two nets with the same
+// architecture always yield the same names in the same sequence, so a
+// per-tensor checksum walk over the result is reproducible — that is what
+// the integrity manifest is built from. The tensors are the net's own
+// storage: mutating them (training, corruption) is visible to a later walk.
+func (n *Net) ParamTensors() []NamedParam {
+	out := make([]NamedParam, 0, 2*len(n.Weights))
+	for i, l := range n.Model.Layers {
+		prefix := fmt.Sprintf("L%02d.%s", i, l.Type)
+		if w := n.Weights[i]; w != nil {
+			out = append(out, NamedParam{Layer: i, Name: prefix + ".weight", Tensor: w})
+		}
+		if b := n.Biases[i]; b != nil {
+			out = append(out, NamedParam{Layer: i, Name: prefix + ".bias", Tensor: b})
+		}
+		// FireAt is keyed by layer index, so indexing it inside the layer
+		// loop keeps the walk order independent of map iteration order.
+		if p := n.FireAt[i]; p != nil {
+			out = append(out,
+				NamedParam{Layer: i, Name: prefix + ".squeezeW", Tensor: p.SqueezeW},
+				NamedParam{Layer: i, Name: prefix + ".squeezeB", Tensor: p.SqueezeB},
+				NamedParam{Layer: i, Name: prefix + ".e1W", Tensor: p.E1W},
+				NamedParam{Layer: i, Name: prefix + ".e1B", Tensor: p.E1B},
+				NamedParam{Layer: i, Name: prefix + ".e3W", Tensor: p.E3W},
+				NamedParam{Layer: i, Name: prefix + ".e3B", Tensor: p.E3B},
+			)
+		}
+	}
+	return out
+}

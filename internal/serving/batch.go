@@ -2,6 +2,7 @@ package serving
 
 import (
 	"fmt"
+	"time"
 
 	"cadmc/internal/tensor"
 )
@@ -23,6 +24,18 @@ type BatchOutcome struct {
 // any item ran (bad cut, edge forward failure); otherwise the returned
 // slice has one outcome per input, in order.
 func (e *SplitExecutor) InferBatch(xs []*tensor.Tensor, cut int) ([]BatchOutcome, error) {
+	return e.inferBatch(xs, cut, 0, false)
+}
+
+// InferBatchBudget is InferBatch with a deadline budget shared by the whole
+// batch: each item's completion goes through the budgeted path, so offload
+// retries cannot run past what the batch has left. A non-positive budget
+// sheds every partitioned item with ErrBudgetExhausted.
+func (e *SplitExecutor) InferBatchBudget(xs []*tensor.Tensor, cut int, budget time.Duration) ([]BatchOutcome, error) {
+	return e.inferBatch(xs, cut, budget, true)
+}
+
+func (e *SplitExecutor) inferBatch(xs []*tensor.Tensor, cut int, budget time.Duration, budgeted bool) ([]BatchOutcome, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("serving: empty batch")
 	}
@@ -41,7 +54,16 @@ func (e *SplitExecutor) InferBatch(xs []*tensor.Tensor, cut int) ([]BatchOutcome
 	}
 	out := make([]BatchOutcome, len(xs))
 	for i, act := range acts {
-		logits, route, err := e.completeAct(act, cut)
+		var (
+			logits []float64
+			route  Route
+			err    error
+		)
+		if budgeted {
+			logits, route, err = e.completeActBudget(act, cut, budget)
+		} else {
+			logits, route, err = e.completeAct(act, cut)
+		}
 		out[i] = BatchOutcome{Logits: logits, Route: route, Err: err}
 	}
 	return out, nil

@@ -1,0 +1,70 @@
+package serving
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A half-open breaker must admit EXACTLY one probe no matter how many
+// goroutines race Allow() — a thundering herd of probes would defeat the
+// point of the breaker. Run with -race.
+func TestBreakerHalfOpenAdmitsSingleProbeConcurrently(t *testing.T) {
+	var virtual atomic.Int64
+	now := func() time.Duration { return time.Duration(virtual.Load()) }
+	b := NewBreaker(1, 10*time.Millisecond, now)
+
+	for round := 0; round < 5; round++ {
+		// Trip the breaker open (a failed probe in the previous round left
+		// it open already), then let the cooldown elapse.
+		if b.State() == BreakerClosed && !b.Failure() {
+			t.Fatalf("round %d: threshold-1 breaker must trip on first failure", round)
+		}
+		if b.Allow() {
+			t.Fatalf("round %d: open breaker admitted a request before cooldown", round)
+		}
+		virtual.Add(int64(20 * time.Millisecond))
+		if got := b.State(); got != BreakerHalfOpen {
+			t.Fatalf("round %d: state %v after cooldown, want half-open", round, got)
+		}
+
+		// Hammer Allow from many goroutines: exactly one probe may pass.
+		const goroutines = 32
+		var admitted atomic.Int64
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for i := 0; i < goroutines; i++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if got := admitted.Load(); got != 1 {
+			t.Fatalf("round %d: half-open breaker admitted %d probes, want exactly 1", round, got)
+		}
+
+		if round%2 == 0 {
+			// Probe fails: straight back to open, still just one probe per
+			// cooldown.
+			if !b.Failure() {
+				t.Fatalf("round %d: failed probe must re-open the breaker", round)
+			}
+		} else {
+			// Probe succeeds: breaker closes and everyone is admitted again.
+			b.Success()
+			if got := b.State(); got != BreakerClosed {
+				t.Fatalf("round %d: state %v after successful probe, want closed", round, got)
+			}
+			if !b.Allow() || !b.Allow() {
+				t.Fatalf("round %d: closed breaker must admit freely", round)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// fuzzConn adapts a byte buffer into the net.Conn the codec wants: reads
+// come from the fuzzed payload, writes and deadlines are swallowed.
+type fuzzConn struct {
+	r io.Reader
+}
+
+func (c *fuzzConn) Read(p []byte) (int, error)       { return c.r.Read(p) }
+func (c *fuzzConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *fuzzConn) Close() error                     { return nil }
+func (c *fuzzConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *fuzzConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *fuzzConn) SetDeadline(time.Time) error      { return nil }
+func (c *fuzzConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *fuzzConn) SetWriteDeadline(time.Time) error { return nil }
+
+// encodeRequests gob-encodes a frame sequence the way a real client would.
+func encodeRequests(tb testing.TB, reqs ...*Request) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame drives the server-side decode path — the byte-metered gob
+// codec followed by activationTensor validation — with arbitrary bytes. The
+// contract under fuzz: never panic, and never admit an activation larger
+// than the payload limit, no matter what length prefixes or shapes the
+// frame claims.
+func FuzzDecodeFrame(f *testing.F) {
+	const maxElems = 1 << 10
+	// Seed with well-formed frames, a truncated frame, a frame whose shape
+	// product overflows, and garbage.
+	f.Add(encodeRequests(f, &Request{
+		ID: 1, ModelID: "m", Cut: 2,
+		Shape:      []int{2, 3, 4},
+		Activation: make([]float64, 24),
+	}))
+	f.Add(encodeRequests(f, &Request{
+		ID: 2, ModelID: "m", Cut: -1,
+		Shape:      []int{1 << 20, 1 << 20, 1 << 20}, // product overflows int64
+		Activation: nil,
+	}))
+	valid := encodeRequests(f, &Request{ID: 3, ModelID: "x", Shape: []int{1}, Activation: []float64{0}})
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0x7f}, 256))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Same budget formula Server.handle uses, scaled to the fuzz limit.
+		limit := int64(maxElems)*8 + 4096
+		cd := newLimitedCodec(&fuzzConn{r: bytes.NewReader(data)}, limit)
+		for frames := 0; frames < 16; frames++ {
+			var req Request
+			if err := cd.readRequest(&req); err != nil {
+				// Any error is a fine outcome for hostile bytes — the
+				// server closes the stream. Panics and runaway allocations
+				// are the bugs this fuzz hunts.
+				return
+			}
+			// The metered reader must have enforced the frame budget before
+			// gob ever materialised the payload.
+			if len(req.Activation) > maxElems {
+				t.Fatalf("decoded activation of %d elements through a %d-element budget",
+					len(req.Activation), maxElems)
+			}
+			x, err := activationTensor(&req, maxElems)
+			if err != nil {
+				continue
+			}
+			if x.Len() > maxElems {
+				t.Fatalf("activationTensor admitted %d elements past the %d limit", x.Len(), maxElems)
+			}
+			if x.Len() != len(req.Activation) {
+				t.Fatalf("tensor length %d disagrees with payload %d", x.Len(), len(req.Activation))
+			}
+		}
+	})
+}

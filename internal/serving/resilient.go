@@ -174,7 +174,7 @@ func (c *ResilientClient) Offload(modelID string, cut int, act *tensor.Tensor) (
 			}
 			return nil, ErrCircuitOpen
 		}
-		logits, err := c.attempt(req)
+		logits, err := c.attempt(req, c.opts.Timeout)
 		if err == nil {
 			c.breaker.Success()
 			c.stats.Offloads++
@@ -196,15 +196,93 @@ func (c *ResilientClient) Offload(modelID string, cut int, act *tensor.Tensor) (
 	return nil, fmt.Errorf("%w: %d attempts failed: %v", ErrUnavailable, c.opts.MaxAttempts, lastErr)
 }
 
-// attempt performs one round trip, redialing first if the previous codec was
-// poisoned. Callers hold c.mu.
-func (c *ResilientClient) attempt(req *Request) ([]float64, error) {
+// OffloadWithin is Offload bounded by a deadline budget covering the whole
+// call: every retry, backoff wait and round trip must fit inside budget.
+// Per-attempt deadlines are clipped to what remains, a backoff that would
+// overrun the budget is not taken, and when the budget runs out the call
+// returns ErrBudgetExhausted — which SplitExecutor sheds rather than falls
+// back on, because a too-late answer has no fallback worth computing.
+func (c *ResilientClient) OffloadWithin(modelID string, cut int, act *tensor.Tensor, budget time.Duration) ([]float64, error) {
+	if act == nil {
+		return nil, errors.New("serving: nil activation")
+	}
+	if budget <= 0 {
+		return nil, ErrBudgetExhausted
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("serving: resilient client closed")
+	}
+	start := c.now()
+	deadline := start + budget
+	c.nextID++
+	req := offloadRequest(c.nextID, modelID, cut, act.Shape, act.Data)
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			wait := c.backoff(attempt)
+			if c.now()+wait >= deadline {
+				break
+			}
+			c.stats.Retries++
+			c.opts.Sleep(wait)
+		}
+		remaining := deadline - c.now()
+		if remaining <= 0 {
+			break
+		}
+		if !c.breaker.Allow() {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last transport error: %v)", ErrCircuitOpen, lastErr)
+			}
+			return nil, ErrCircuitOpen
+		}
+		timeout := c.opts.Timeout
+		if timeout <= 0 || timeout > remaining {
+			timeout = remaining
+		}
+		logits, err := c.attempt(req, timeout)
+		if err == nil {
+			c.breaker.Success()
+			c.stats.Offloads++
+			return logits, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			c.breaker.Success()
+			c.stats.RemoteErrors++
+			return nil, err
+		}
+		if c.breaker.Failure() {
+			c.stats.BreakerOpens++
+		}
+		lastErr = err
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBudgetExhausted, lastErr)
+	}
+	return nil, ErrBudgetExhausted
+}
+
+// now reads the injected clock, or real monotonic time.
+func (c *ResilientClient) now() time.Duration {
+	if c.opts.Now != nil {
+		return c.opts.Now()
+	}
+	return time.Duration(time.Now().UnixNano())
+}
+
+// attempt performs one round trip under the given per-attempt timeout (zero
+// means no deadline), redialing first if the previous codec was poisoned.
+// Callers hold c.mu.
+func (c *ResilientClient) attempt(req *Request, timeout time.Duration) ([]float64, error) {
 	if err := c.ensure(); err != nil {
 		return nil, err
 	}
 	cd := c.codec
-	if c.opts.Timeout > 0 {
-		if err := cd.conn.SetDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
+	if timeout > 0 {
+		if err := cd.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 			c.poison()
 			return nil, fmt.Errorf("serving: set deadline: %w", err)
 		}
@@ -218,7 +296,7 @@ func (c *ResilientClient) attempt(req *Request) ([]float64, error) {
 		c.poison()
 		return nil, fmt.Errorf("serving: read response: %w", err)
 	}
-	if c.opts.Timeout > 0 {
+	if timeout > 0 {
 		_ = cd.conn.SetDeadline(time.Time{})
 	}
 	if resp.ID != 0 && resp.ID != req.ID {

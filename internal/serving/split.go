@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"cadmc/internal/nn"
 	"cadmc/internal/tensor"
@@ -15,6 +16,21 @@ import (
 type Offloader interface {
 	Offload(modelID string, cut int, act *tensor.Tensor) ([]float64, error)
 }
+
+// DeadlineOffloader is an Offloader that can bound one whole offload —
+// retries, backoff and round trips included — within a deadline budget.
+// ResilientClient implements it.
+type DeadlineOffloader interface {
+	Offloader
+	OffloadWithin(modelID string, cut int, act *tensor.Tensor, budget time.Duration) ([]float64, error)
+}
+
+// ErrBudgetExhausted reports that a request's deadline budget ran out before
+// the offload could complete. It is deliberately NOT classified as
+// offloadUnavailable: an exhausted budget means the answer is already too
+// late, so the executor sheds the request instead of burning more time on a
+// local fallback pass.
+var ErrBudgetExhausted = errors.New("serving: request budget exhausted")
 
 // Route records where one inference was completed.
 type Route int
@@ -193,6 +209,38 @@ func (e *SplitExecutor) completeAct(act *tensor.Tensor, cut int) ([]float64, Rou
 	if err == nil {
 		e.record(RouteOffloaded)
 		return logits, RouteOffloaded, nil
+	}
+	if e.FallbackLocal && offloadUnavailable(err) {
+		return e.fallback(act, cut, err)
+	}
+	return nil, 0, err
+}
+
+// completeActBudget is completeAct under a deadline budget: offloads go
+// through the client's OffloadWithin when it supports one, an exhausted
+// budget sheds rather than falls back, and clients without deadline support
+// degrade to the unbudgeted path.
+func (e *SplitExecutor) completeActBudget(act *tensor.Tensor, cut int, budget time.Duration) ([]float64, Route, error) {
+	if cut == len(e.Edge.Model.Layers)-1 {
+		// Edge-resident: the local pass is the cheapest thing we can do with
+		// the request at this point, budget or not.
+		e.record(RouteEdgeOnly)
+		return append([]float64(nil), act.Data...), RouteEdgeOnly, nil
+	}
+	if budget <= 0 {
+		return nil, 0, ErrBudgetExhausted
+	}
+	d, ok := e.Client.(DeadlineOffloader)
+	if !ok {
+		return e.completeAct(act, cut)
+	}
+	logits, err := d.OffloadWithin(e.ModelID, cut, act, budget)
+	if err == nil {
+		e.record(RouteOffloaded)
+		return logits, RouteOffloaded, nil
+	}
+	if errors.Is(err, ErrBudgetExhausted) {
+		return nil, 0, err
 	}
 	if e.FallbackLocal && offloadUnavailable(err) {
 		return e.fallback(act, cut, err)

@@ -1,0 +1,40 @@
+package tensor
+
+import "math"
+
+// FNV-64a parameters (hash/fnv is not used directly: hashing float64 words
+// through a Hash64 interface would force an 8-byte slice allocation per
+// element, and the checksum walk runs over every parameter of every variant).
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// fnvWord64 folds one 64-bit word into an FNV-64a state, little-endian byte
+// order, exactly as hash/fnv would fold the 8 bytes.
+func fnvWord64(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime64
+		w >>= 8
+	}
+	return h
+}
+
+// Checksum64 returns a deterministic FNV-64a digest of the tensor: the rank,
+// each dimension, then the raw IEEE-754 bits of every element in row-major
+// order. Bit-flipped, truncated (zeroed) or NaN-poisoned storage all change
+// the digest; two tensors with equal shape and bit-identical elements always
+// agree. The digest distinguishes NaN payloads and signed zeros because it
+// reads math.Float64bits, not the float value.
+func (t *Tensor) Checksum64() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvWord64(h, uint64(len(t.Shape)))
+	for _, d := range t.Shape {
+		h = fnvWord64(h, uint64(int64(d)))
+	}
+	for _, v := range t.Data {
+		h = fnvWord64(h, math.Float64bits(v))
+	}
+	return h
+}

@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The hand-rolled word fold must agree with hash/fnv byte-for-byte, or the
+// digest silently stops being FNV-64a.
+func TestChecksum64MatchesHashFnv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := Randn(rng, 1, 2, 3, 4)
+	ref := fnv.New64a()
+	word := func(w uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(w >> (8 * i))
+		}
+		_, _ = ref.Write(b[:])
+	}
+	word(uint64(len(x.Shape)))
+	for _, d := range x.Shape {
+		word(uint64(int64(d)))
+	}
+	for _, v := range x.Data {
+		word(math.Float64bits(v))
+	}
+	if got, want := x.Checksum64(), ref.Sum64(); got != want {
+		t.Fatalf("Checksum64 = %#x, hash/fnv reference = %#x", got, want)
+	}
+}
+
+func TestChecksum64DetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := Randn(rng, 1, 4, 9)
+	base := x.Checksum64()
+
+	// Bit flip: the smallest possible corruption must change the digest.
+	y := x.Clone()
+	y.Data[17] = math.Float64frombits(math.Float64bits(y.Data[17]) ^ 1)
+	if y.Checksum64() == base {
+		t.Fatal("single mantissa bit flip left the checksum unchanged")
+	}
+
+	// Truncation-style zeroing of a tail.
+	z := x.Clone()
+	for i := len(z.Data) / 2; i < len(z.Data); i++ {
+		z.Data[i] = 0
+	}
+	if z.Checksum64() == base {
+		t.Fatal("zeroed tail left the checksum unchanged")
+	}
+
+	// NaN poisoning: NaN != NaN for floats, but the digest reads raw bits,
+	// so the corruption is still visible and still deterministic.
+	w := x.Clone()
+	w.Data[0] = math.NaN()
+	if w.Checksum64() == base {
+		t.Fatal("NaN poisoning left the checksum unchanged")
+	}
+	if w.Checksum64() != w.Clone().Checksum64() {
+		t.Fatal("checksum of a NaN-carrying tensor is not deterministic")
+	}
+
+	// Same data under a different shape must not collide trivially.
+	a, err := FromSlice(append([]float64(nil), x.Data...), 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum64() == base {
+		t.Fatal("reshaped tensor collides with the original")
+	}
+	if x.Clone().Checksum64() != base {
+		t.Fatal("clone does not reproduce the digest")
+	}
+}

@@ -34,6 +34,13 @@ go test -race -count=2 -run 'Resilient|Breaker|Live|Client|Split|Server' \
 echo "== gateway soak (-count=2: hot-swaps must be lossless and race-clean)"
 go test -race -count=2 -run 'Gateway' ./internal/gateway ./internal/emulator
 
+echo "== chaos-integrity (-count=2: corruption quarantined pre-swap, wedged workers healed)"
+go test -race -count=2 -run 'Integrity|Quarantine|Corrupt|Supervisor|Manifest' \
+    ./internal/integrity ./internal/gateway ./internal/emulator
+
+echo "== fuzz smoke (5s: serving frame decoder must shrug off hostile bytes)"
+go test -run '^$' -fuzz '^FuzzDecodeFrame$' -fuzztime 5s ./internal/serving
+
 echo "== determinism suite (-count=2: parallel kernels must be bit-exact at any GOMAXPROCS)"
 go test -race -count=2 -run 'Determinism' \
     ./internal/parallel ./internal/tensor ./internal/nn ./internal/report
