@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet vet-json check chaos chaos-integrity fuzz bench bench-gateway bench-kernels
+.PHONY: build test race vet vet-json check chaos chaos-integrity fuzz bench bench-gateway bench-kernels trace telemetry
 
 build:
 	go build ./...
@@ -50,6 +50,18 @@ bench:
 # offload channel. Writes BENCH_gateway.json.
 bench-gateway:
 	go run ./cmd/loadgen -requests 128 -workers 8 -batch 8 -latency-ms 5 -out BENCH_gateway.json
+
+# Deterministic traced replay: runs the two-phase offload→edge scenario on
+# the auto-advancing telemetry clock and prints per-request waterfalls plus
+# the sorted metric exposition. Same seed, same bytes — every time.
+trace:
+	go run ./cmd/emulate -mode trace
+
+# Telemetry determinism gate on its own: snapshot/exposition bit-equality
+# across GOMAXPROCS plus the emulator's traced-replay acceptance test.
+telemetry:
+	go test -race -count=2 -run 'Determinism|Snapshot|Trace|Registry' ./internal/telemetry
+	go test -race -count=2 -run 'TestRunTraceBitIdenticalReplay' ./internal/emulator
 
 # Compute-kernel benchmark: serial vs worker-pool vs worker-pool+arena for
 # MatMul, Conv2D, the batched forward pass and report.Evaluate. Writes

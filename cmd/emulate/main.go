@@ -11,9 +11,11 @@
 //	emulate -mode live -scenario "WiFi (weak) indoor" -inferences 60
 //	emulate -mode gateway -sessions 64            # multi-session gateway replay
 //	emulate -mode integrity -sessions 16          # corruption + stall self-healing replay
+//	emulate -mode trace -out trace.txt            # deterministic traced replay: waterfalls + metrics
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -25,11 +27,12 @@ import (
 	"cadmc/internal/network"
 	"cadmc/internal/nn"
 	"cadmc/internal/serving"
+	"cadmc/internal/telemetry"
 	"cadmc/internal/tensor"
 )
 
 func main() {
-	mode := flag.String("mode", "emulation", "replay mode: emulation, field, live, gateway, or integrity")
+	mode := flag.String("mode", "emulation", "replay mode: emulation, field, live, gateway, integrity, or trace")
 	model := flag.String("model", "", "restrict to one base model (VGG11 or AlexNet)")
 	device := flag.String("device", "", "restrict to one device (Phone or TX2)")
 	scenario := flag.String("scenario", "", "restrict to one network scenario")
@@ -37,23 +40,91 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	inferences := flag.Int("inferences", 60, "live mode: number of inferences to replay")
 	sessions := flag.Int("sessions", 64, "gateway mode: number of concurrent sessions")
+	out := flag.String("out", "", "trace mode: write the report here instead of stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 
-	var err error
-	switch *mode {
-	case "live":
-		err = runLive(*scenario, *seed, *inferences)
-	case "gateway":
-		err = runGateway(*seed, *sessions)
-	case "integrity":
-		err = runIntegrity(*seed, *sessions)
-	default:
-		err = run(*mode, *model, *device, *scenario, *quick, *seed)
-	}
-	if err != nil {
+	if err := dispatch(*mode, *model, *device, *scenario, *quick, *seed,
+		*inferences, *sessions, *out, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "emulate:", err)
 		os.Exit(1)
 	}
+}
+
+func dispatch(mode, model, device, scenario string, quick bool, seed int64,
+	inferences, sessions int, out, cpuProfile, memProfile string) (err error) {
+	prof, err := telemetry.StartProfile(cpuProfile, memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if stopErr := prof.Stop(); stopErr != nil && err == nil {
+			err = stopErr
+		}
+	}()
+	switch mode {
+	case "live":
+		return runLive(scenario, seed, inferences)
+	case "gateway":
+		return runGateway(seed, sessions)
+	case "integrity":
+		return runIntegrity(seed, sessions)
+	case "trace":
+		return runTrace(seed, out)
+	default:
+		return run(mode, model, device, scenario, quick, seed)
+	}
+}
+
+// runTrace performs the deterministic traced replay and renders the
+// per-request waterfalls followed by the metrics exposition. With -out the
+// report goes to a file; any write, flush or close failure — including on
+// early-error paths — is reported, never dropped.
+func runTrace(seed int64, outPath string) (err error) {
+	res, err := emulator.RunTrace(emulator.TraceOptions{Seed: seed})
+	if err != nil {
+		return err
+	}
+	var w *bufio.Writer
+	if outPath == "" {
+		w = bufio.NewWriter(os.Stdout)
+		defer func() {
+			if flushErr := w.Flush(); flushErr != nil && err == nil {
+				err = flushErr
+			}
+		}()
+	} else {
+		f, createErr := os.Create(outPath)
+		if createErr != nil {
+			return createErr
+		}
+		w = bufio.NewWriter(f)
+		defer func() {
+			// Flush before close, and keep the first failure: a trace report
+			// that silently lost its tail is worse than an error.
+			flushErr := w.Flush()
+			closeErr := f.Close()
+			if err == nil && flushErr != nil {
+				err = flushErr
+			}
+			if err == nil && closeErr != nil {
+				err = closeErr
+			}
+		}()
+	}
+	fmt.Fprintf(w, "traced replay: seed %d, %d requests over %d phases at %v Mbps, clock step %v\n",
+		seed, len(res.Traces), len(res.Options.PhaseMbps), res.Options.PhaseMbps, res.Options.Step)
+	fmt.Fprintf(w, "accounting: %d admitted = %d completed + %d shed, %d hot-swaps\n\n",
+		res.Report.Admitted, res.Report.Completed, res.Report.Shed, res.Report.Swaps)
+	if _, err := w.WriteString(res.Waterfalls); err != nil {
+		return err
+	}
+	if _, err := w.WriteString("\n"); err != nil {
+		return err
+	}
+	_, werr := w.WriteString(res.Exposition)
+	return werr
 }
 
 // runLive replays a fault-injected offload session for one scenario and

@@ -15,6 +15,8 @@
 // Usage:
 //
 //	loadgen -requests 128 -workers 8 -batch 8 -latency-ms 5 -out BENCH_gateway.json
+//	loadgen -metrics                       # embed the telemetry snapshot in the report
+//	loadgen -cpuprofile cpu.pprof -memprofile heap.pprof
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"cadmc/internal/gateway"
 	"cadmc/internal/parallel"
 	"cadmc/internal/serving"
+	"cadmc/internal/telemetry"
 	"cadmc/internal/tensor"
 )
 
@@ -41,9 +44,12 @@ func main() {
 	latencyMS := flag.Float64("latency-ms", 5, "injected one-way offload latency per write")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "BENCH_gateway.json", "output JSON path")
+	metrics := flag.Bool("metrics", false, "embed the gateway phase's telemetry snapshot in the JSON report")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 
-	if err := run(*requests, *workers, *batch, *latencyMS, *seed, *out); err != nil {
+	if err := run(*requests, *workers, *batch, *latencyMS, *seed, *out, *metrics, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -90,6 +96,9 @@ type benchReport struct {
 	GatewayMeanSize float64          `json:"gateway_mean_batch"`
 	Resilience      resilienceStats  `json:"resilience"`
 	Overload        overloadStats    `json:"overload"`
+	// Metrics is the gateway phase's telemetry snapshot (with the compute
+	// runtime's parallel.* gauges folded in); present only with -metrics.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // bench is the shared test rig: an in-process cloud server plus the demo
@@ -202,14 +211,17 @@ func (b *bench) runBaseline() (phaseStats, error) {
 	}, nil
 }
 
-// runGateway pushes the same requests through the gateway.
-func (b *bench) runGateway(workers, maxBatch int) (phaseStats, *gateway.Report, error) {
+// runGateway pushes the same requests through the gateway. A non-nil
+// registry meters the whole phase: gateway counters, offload channels and
+// latency histograms all land in it.
+func (b *bench) runGateway(workers, maxBatch int, registry *telemetry.Registry) (phaseStats, *gateway.Report, error) {
 	gw, err := gateway.New(gateway.Config{
 		Workers:         workers,
 		QueueCapacity:   len(b.inputs),
 		PerSessionLimit: -1,
 		MaxBatch:        maxBatch,
 		MaxWait:         time.Millisecond,
+		Metrics:         registry,
 		NewOffloader: func(workerID int) (serving.Offloader, error) {
 			return serving.NewResilientClient(b.dial(b.seed+int64(workerID)*7919), serving.ResilientOptions{})
 		},
@@ -303,21 +315,36 @@ func (b *bench) runOverload() (overloadStats, error) {
 	}, nil
 }
 
-func run(requests, workers, maxBatch int, latencyMS float64, seed int64, out string) error {
+func run(requests, workers, maxBatch int, latencyMS float64, seed int64, out string, metrics bool, cpuProfile, memProfile string) (err error) {
 	if requests <= 0 || workers <= 0 || maxBatch <= 0 {
 		return fmt.Errorf("requests, workers and batch must be positive")
 	}
+	prof, err := telemetry.StartProfile(cpuProfile, memProfile)
+	if err != nil {
+		return err
+	}
+	// Stop on every exit path — a CPU profile left running writes nothing —
+	// and surface its error unless the run already failed for another reason.
+	defer func() {
+		if stopErr := prof.Stop(); stopErr != nil && err == nil {
+			err = stopErr
+		}
+	}()
 	b, err := newBench(requests, latencyMS, seed)
 	if err != nil {
 		return err
 	}
 	defer b.shutdown()
 
+	var registry *telemetry.Registry
+	if metrics {
+		registry = telemetry.NewRegistry()
+	}
 	base, err := b.runBaseline()
 	if err != nil {
 		return err
 	}
-	gw, rep, err := b.runGateway(workers, maxBatch)
+	gw, rep, err := b.runGateway(workers, maxBatch, registry)
 	if err != nil {
 		return err
 	}
@@ -345,6 +372,13 @@ func run(requests, workers, maxBatch int, latencyMS float64, seed int64, out str
 			BudgetExpired: rep.BudgetExpired,
 		},
 		Overload: over,
+	}
+	if registry != nil {
+		// Fold the compute runtime's cumulative gauges in before snapshotting
+		// so one report covers the full stack.
+		parallel.Observe(registry)
+		snap := registry.Snapshot()
+		report.Metrics = &snap
 	}
 	fmt.Printf("baseline %.1f req/s | gateway %.1f req/s | speedup %.2fx | shed rate %.2f\n",
 		base.ThroughputRPS, gw.ThroughputRPS, report.Speedup, over.ShedRate)

@@ -15,6 +15,7 @@ var clockInjectedPkgs = []string{
 	"internal/emulator",
 	"internal/faultnet",
 	"internal/gateway",
+	"internal/telemetry",
 }
 
 // wallTimeFuncs are the time package functions that read or free-run on the
@@ -33,7 +34,7 @@ var wallTimeFuncs = map[string]bool{
 // one sanctioned reader and carries //cadmc:allow walltime.
 var WallTime = &Analyzer{
 	Name: "walltime",
-	Doc:  "clock-injected packages (emulator, faultnet, gateway) must read time through the Clock seam",
+	Doc:  "clock-injected packages (emulator, faultnet, gateway, telemetry) must read time through the Clock seam",
 	Run:  runWallTime,
 }
 

@@ -31,6 +31,27 @@ func seam() time.Time {
 	})
 }
 
+// The telemetry package is on the injected-clock seam too: its traces and
+// snapshots must be bit-identical under replay, so a direct wall read there
+// is the same determinism leak as in the gateway.
+func TestWallTimeCoversTelemetryPackage(t *testing.T) {
+	const src = `package telemetry
+
+import "time"
+
+func bad() time.Duration {
+	return time.Since(time.Time{})
+}
+
+func legal(d time.Duration) {
+	time.Sleep(d)
+}
+`
+	checkAnalyzer(t, WallTime, "cadmc/internal/telemetry", src, []want{
+		{line: 6, message: "time.Since reads the wall clock"},
+	})
+}
+
 func TestWallTimeIgnoresNonInjectedPackages(t *testing.T) {
 	const src = `package other
 

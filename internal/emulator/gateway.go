@@ -9,6 +9,7 @@ import (
 	"cadmc/internal/faultnet"
 	"cadmc/internal/gateway"
 	"cadmc/internal/serving"
+	"cadmc/internal/telemetry"
 	"cadmc/internal/tensor"
 )
 
@@ -89,6 +90,9 @@ type GatewayRunResult struct {
 	SigCounts map[string]int64
 	// WallMS is the replay's real duration, for throughput computation.
 	WallMS float64
+	// Metrics is the gateway registry's final snapshot: every gateway.* and
+	// serving.* instrument the replay touched.
+	Metrics telemetry.Snapshot
 	// Options echoes the fully defaulted options the replay ran under.
 	Options GatewayOptions
 }
@@ -146,8 +150,10 @@ func RunGateway(opts GatewayOptions) (*GatewayRunResult, error) {
 		return nil, err
 	}
 	spec := faultnet.Spec{LatencyMS: opts.OffloadLatencyMS}
+	registry := telemetry.NewRegistry()
 	gw, err := gateway.New(gateway.Config{
 		Workers: opts.Workers,
+		Metrics: registry,
 		// The queue never sheds in a replay: capacity covers the maximum
 		// possible backlog so the accounting assertion is exact.
 		QueueCapacity:   opts.RequestsPerPhase * len(opts.PhaseMbps),
@@ -245,6 +251,7 @@ func RunGateway(opts GatewayOptions) (*GatewayRunResult, error) {
 		Swaps:     mgr.Swaps(),
 		SigCounts: make(map[string]int64),
 		WallMS:    wallMS,
+		Metrics:   registry.Snapshot(),
 		Options:   opts,
 	}
 	for i := range records {

@@ -10,6 +10,7 @@ import (
 	"cadmc/internal/gateway"
 	"cadmc/internal/integrity"
 	"cadmc/internal/serving"
+	"cadmc/internal/telemetry"
 	"cadmc/internal/tensor"
 )
 
@@ -82,6 +83,9 @@ type IntegrityRunResult struct {
 	ServedClass  int
 	// Swaps is the swap manager's count of class changes.
 	Swaps int64
+	// Metrics is the gateway registry's final snapshot, including the
+	// quarantine/rollback/restart counters this scenario exercises.
+	Metrics telemetry.Snapshot
 	// Options echoes the fully defaulted options the replay ran under.
 	Options IntegrityOptions
 }
@@ -130,8 +134,10 @@ func RunIntegrity(opts IntegrityOptions) (*IntegrityRunResult, error) {
 	// Exactly one offload write across the whole pool wedges once the gate
 	// is armed; Release before Stop so the abandoned worker can be joined.
 	defer gate.Release()
+	registry := telemetry.NewRegistry()
 	gw, err := gateway.New(gateway.Config{
 		Workers:         opts.Workers,
+		Metrics:         registry,
 		QueueCapacity:   3 * opts.RequestsPerPhase,
 		PerSessionLimit: -1,
 		MaxBatch:        opts.MaxBatch,
@@ -257,6 +263,7 @@ func RunIntegrity(opts IntegrityOptions) (*IntegrityRunResult, error) {
 		Options:      opts,
 	}
 	out.Report = gw.Stop()
+	out.Metrics = registry.Snapshot()
 	for i := range records {
 		if records[i].Result.Err != nil {
 			return nil, fmt.Errorf("emulator: integrity request %d (phase %d): %w",

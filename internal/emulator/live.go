@@ -8,6 +8,7 @@ import (
 	"cadmc/internal/faultnet"
 	"cadmc/internal/nn"
 	"cadmc/internal/serving"
+	"cadmc/internal/telemetry"
 	"cadmc/internal/tensor"
 )
 
@@ -47,6 +48,9 @@ type LiveResult struct {
 	Logits [][]float64
 	// FinalBreaker is the circuit position after the last inference.
 	FinalBreaker serving.BreakerState
+	// Metrics is the replay registry's final snapshot: the serving.* offload,
+	// breaker and route instruments the scenario drove.
+	Metrics telemetry.Snapshot
 }
 
 // RunLive replays inferences for an executable model over a real loopback
@@ -99,9 +103,13 @@ func RunLive(model *nn.Net, inputs []*tensor.Tensor, opts LiveOptions) (*LiveRes
 		dialSeq++
 		return faultnet.Wrap(conn, s, clock), nil
 	}
+	registry := telemetry.NewRegistry()
 	res := opts.Resilience
 	res.Now = clock.Now
 	res.Sleep = func(time.Duration) {} // backoff is virtual: the clock only moves between inferences
+	if res.Metrics == nil {
+		res.Metrics = registry
+	}
 	client, err := serving.NewResilientClient(dial, res)
 	if err != nil {
 		return nil, err
@@ -113,6 +121,7 @@ func RunLive(model *nn.Net, inputs []*tensor.Tensor, opts LiveOptions) (*LiveRes
 		ModelID:       "live",
 		Client:        client,
 		FallbackLocal: true,
+		Metrics:       registry,
 	}
 	out := &LiveResult{
 		Routes: make([]serving.Route, 0, opts.Inferences),
@@ -130,5 +139,6 @@ func RunLive(model *nn.Net, inputs []*tensor.Tensor, opts LiveOptions) (*LiveRes
 	out.Stats = exec.Stats()
 	out.Channel = client.Stats()
 	out.FinalBreaker = client.BreakerState()
+	out.Metrics = registry.Snapshot()
 	return out, nil
 }

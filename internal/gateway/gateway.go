@@ -27,14 +27,13 @@ package gateway
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cadmc/internal/faultnet"
 	"cadmc/internal/serving"
+	"cadmc/internal/telemetry"
 	"cadmc/internal/tensor"
 )
 
@@ -94,6 +93,17 @@ type Config struct {
 	// (completing them with ErrBudgetExceeded) and bound offload attempts by
 	// the remaining budget. Zero means no budget.
 	RequestBudget time.Duration
+	// Metrics is the registry backing every gateway counter, gauge and
+	// latency histogram (and, through the workers, the serving-layer offload
+	// metrics). Nil builds a private registry, exposed via Gateway.Metrics —
+	// the exported Report struct is filled from these instruments, so its
+	// shape and semantics are unchanged.
+	Metrics *telemetry.Registry
+	// Tracer, when set, records one trace per admitted request: admission →
+	// queue → batch → offload/local → completion, timed exclusively on the
+	// gateway Clock so a deterministic clock yields bit-identical waterfalls.
+	// Nil disables tracing (no per-request overhead beyond a nil check).
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = faultnet.NewClock()
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
 	}
 	if c.StallTimeout > 0 && c.SupervisorPoll <= 0 {
 		c.SupervisorPoll = c.StallTimeout / 4
@@ -189,36 +202,71 @@ type Report struct {
 	MeanQueueMS float64
 }
 
+// gwMetrics bundles the telemetry handles behind the gateway's exact
+// accounting. Handles are resolved once at construction, so hot paths pay an
+// atomic add — never a registry map lookup.
+type gwMetrics struct {
+	admitted      *telemetry.Counter
+	completed     *telemetry.Counter
+	shed          *telemetry.Counter
+	shedQueueFull *telemetry.Counter
+	shedSession   *telemetry.Counter
+	shedClosed    *telemetry.Counter
+	errored       *telemetry.Counter
+	batches       *telemetry.Counter
+	batchedReqs   *telemetry.Counter
+	swaps         *telemetry.Counter
+	quarantines   *telemetry.Counter
+	rollbacks     *telemetry.Counter
+	restarts      *telemetry.Counter
+	requeued      *telemetry.Counter
+	budgetExpired *telemetry.Counter
+
+	latency       *telemetry.Histogram
+	queueWait     *telemetry.Histogram
+	batchSize     *telemetry.Histogram
+	batchAssemble *telemetry.Histogram
+}
+
+func newGWMetrics(r *telemetry.Registry) gwMetrics {
+	return gwMetrics{
+		admitted:      r.Counter("gateway.admitted"),
+		completed:     r.Counter("gateway.completed"),
+		shed:          r.Counter("gateway.shed"),
+		shedQueueFull: r.Counter("gateway.shed.queue_full"),
+		shedSession:   r.Counter("gateway.shed.session"),
+		shedClosed:    r.Counter("gateway.shed.closed"),
+		errored:       r.Counter("gateway.errored"),
+		batches:       r.Counter("gateway.batches"),
+		batchedReqs:   r.Counter("gateway.batched_requests"),
+		swaps:         r.Counter("gateway.swaps"),
+		quarantines:   r.Counter("gateway.quarantines"),
+		rollbacks:     r.Counter("gateway.rollbacks"),
+		restarts:      r.Counter("gateway.restarts"),
+		requeued:      r.Counter("gateway.requeued"),
+		budgetExpired: r.Counter("gateway.budget_expired"),
+		latency:       r.Histogram("gateway.latency_ms", nil),
+		queueWait:     r.Histogram("gateway.queue_ms", nil),
+		batchSize:     r.Histogram("gateway.batch.size", []float64{1, 2, 4, 8, 16, 32, 64}),
+		batchAssemble: r.Histogram("gateway.batch.assemble_ms", nil),
+	}
+}
+
 // Gateway is the concurrent request front end. Build with New, set the
 // initial variant (directly or through a SwapManager), Start, Submit from
 // any number of goroutines, and Stop to drain.
 type Gateway struct {
 	cfg Config
 	q   *admitQueue
+	m   gwMetrics
 
 	variant atomic.Pointer[Variant]
-	swaps   atomic.Int64
 
 	wg      sync.WaitGroup
 	started atomic.Bool
 
-	admitted      atomic.Int64
-	completed     atomic.Int64
-	shed          atomic.Int64
-	shedQueueFull atomic.Int64
-	shedSession   atomic.Int64
-	shedClosed    atomic.Int64
-	errored       atomic.Int64
-	batches       atomic.Int64
-	batchedReqs   atomic.Int64
-	nextID        atomic.Uint64
-	nextWorker    atomic.Int64
-
-	quarantines   atomic.Int64
-	rollbacks     atomic.Int64
-	restarts      atomic.Int64
-	requeued      atomic.Int64
-	budgetExpired atomic.Int64
+	nextID     atomic.Uint64
+	nextWorker atomic.Int64
 
 	supDone chan struct{}
 
@@ -226,8 +274,6 @@ type Gateway struct {
 	workers     []*worker
 	retired     []*worker
 	finalRoutes serving.SplitStats
-	latencies   []float64
-	queueMS     []float64
 }
 
 // New builds a gateway. The initial variant must be set (SetVariant or a
@@ -240,8 +286,13 @@ func New(cfg Config) (*Gateway, error) {
 	return &Gateway{
 		cfg: cfg,
 		q:   newAdmitQueue(cfg.QueueCapacity, cfg.PerSessionLimit),
+		m:   newGWMetrics(cfg.Metrics),
 	}, nil
 }
+
+// Metrics returns the registry backing the gateway's instruments — the one
+// from Config.Metrics, or the private registry built when none was supplied.
+func (g *Gateway) Metrics() *telemetry.Registry { return g.cfg.Metrics }
 
 // SetVariant atomically publishes the variant new batches execute; it
 // returns the variant previously active (nil on first call). In-flight
@@ -253,7 +304,7 @@ func (g *Gateway) SetVariant(v *Variant) (*Variant, error) {
 	}
 	old := g.variant.Swap(v)
 	if old != nil {
-		g.swaps.Add(1)
+		g.m.swaps.Inc()
 	}
 	return old, nil
 }
@@ -262,7 +313,7 @@ func (g *Gateway) SetVariant(v *Variant) (*Variant, error) {
 func (g *Gateway) CurrentVariant() *Variant { return g.variant.Load() }
 
 // Swaps returns the number of hot-swaps performed so far.
-func (g *Gateway) Swaps() int64 { return g.swaps.Load() }
+func (g *Gateway) Swaps() int64 { return g.m.swaps.Value() }
 
 // Start launches the worker pool. It fails if no variant is set.
 func (g *Gateway) Start() error {
@@ -308,6 +359,11 @@ func (g *Gateway) newWorker() (*worker, error) {
 		if err != nil {
 			return nil, fmt.Errorf("gateway: offloader for worker %d: %w", id, err)
 		}
+		if m, ok := off.(serving.Meterable); ok {
+			// Meter the per-worker channel into the gateway registry; a sink
+			// the offloader was built with is never displaced.
+			m.MeterWith(g.cfg.Metrics)
+		}
 		w.offloader = off
 	}
 	return w, nil
@@ -317,12 +373,12 @@ func (g *Gateway) newWorker() (*worker, error) {
 // receive exactly one Result; on shedding it returns the shed cause
 // (ErrQueueFull, ErrSessionLimit or ErrClosed).
 func (g *Gateway) Submit(session string, x *tensor.Tensor) (<-chan Result, error) {
-	g.admitted.Add(1)
+	g.m.admitted.Inc()
 	if x == nil {
 		// A nil input is a caller bug, not load: count it as shed with a
 		// definitive error so accounting stays exact.
-		g.shed.Add(1)
-		g.shedClosed.Add(1)
+		g.m.shed.Inc()
+		g.m.shedClosed.Inc()
 		return nil, errors.New("gateway: nil input")
 	}
 	req := &request{
@@ -332,15 +388,25 @@ func (g *Gateway) Submit(session string, x *tensor.Tensor) (<-chan Result, error
 		done:    make(chan Result, 1),
 		enq:     g.cfg.Clock.Now(),
 	}
+	if g.cfg.Tracer != nil {
+		// Begin before push: once the request is visible to a worker its
+		// trace field must never be written again.
+		req.trace = g.cfg.Tracer.Begin(req.id, session, durMS(req.enq))
+	}
 	if err := g.q.push(req); err != nil {
-		g.shed.Add(1)
+		g.m.shed.Inc()
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			g.shedQueueFull.Add(1)
+			g.m.shedQueueFull.Inc()
 		case errors.Is(err, ErrSessionLimit):
-			g.shedSession.Add(1)
+			g.m.shedSession.Inc()
 		default:
-			g.shedClosed.Add(1)
+			g.m.shedClosed.Inc()
+		}
+		if req.trace != nil {
+			// Shed traces are sealed immediately with the shed cause so the
+			// ring shows them alongside served requests.
+			req.trace.Finish(durMS(req.enq), err.Error())
 		}
 		return nil, err
 	}
@@ -381,28 +447,26 @@ func (g *Gateway) Stop() Report {
 // Report snapshots the accounting counters and latency distribution.
 func (g *Gateway) Report() Report {
 	r := Report{
-		Admitted:        g.admitted.Load(),
-		Completed:       g.completed.Load(),
-		Shed:            g.shed.Load(),
-		ShedQueueFull:   g.shedQueueFull.Load(),
-		ShedSession:     g.shedSession.Load(),
-		ShedClosed:      g.shedClosed.Load(),
-		Errored:         g.errored.Load(),
-		Batches:         g.batches.Load(),
-		BatchedRequests: g.batchedReqs.Load(),
-		Swaps:           g.swaps.Load(),
-		Quarantines:     g.quarantines.Load(),
-		Rollbacks:       g.rollbacks.Load(),
-		Restarts:        g.restarts.Load(),
-		Requeued:        g.requeued.Load(),
-		BudgetExpired:   g.budgetExpired.Load(),
+		Admitted:        g.m.admitted.Value(),
+		Completed:       g.m.completed.Value(),
+		Shed:            g.m.shed.Value(),
+		ShedQueueFull:   g.m.shedQueueFull.Value(),
+		ShedSession:     g.m.shedSession.Value(),
+		ShedClosed:      g.m.shedClosed.Value(),
+		Errored:         g.m.errored.Value(),
+		Batches:         g.m.batches.Value(),
+		BatchedRequests: g.m.batchedReqs.Value(),
+		Swaps:           g.m.swaps.Value(),
+		Quarantines:     g.m.quarantines.Value(),
+		Rollbacks:       g.m.rollbacks.Value(),
+		Restarts:        g.m.restarts.Value(),
+		Requeued:        g.m.requeued.Value(),
+		BudgetExpired:   g.m.budgetExpired.Value(),
 	}
 	if r.Batches > 0 {
 		r.MeanBatch = float64(r.BatchedRequests) / float64(r.Batches)
 	}
 	g.mu.Lock()
-	lat := append([]float64(nil), g.latencies...)
-	qms := append([]float64(nil), g.queueMS...)
 	for _, w := range g.workers {
 		r.Routes.Add(w.stats())
 	}
@@ -415,49 +479,20 @@ func (g *Gateway) Report() Report {
 		r.Routes.Add(g.finalRoutes)
 	}
 	g.mu.Unlock()
-	sort.Float64s(lat)
-	r.P50MS = Percentile(lat, 0.50)
-	r.P90MS = Percentile(lat, 0.90)
-	r.P99MS = Percentile(lat, 0.99)
-	if len(lat) > 0 {
-		r.MaxMS = lat[len(lat)-1]
-		sum := 0.0
-		for _, v := range lat {
-			sum += v
-		}
-		r.MeanMS = sum / float64(len(lat))
-	}
-	if len(qms) > 0 {
-		sum := 0.0
-		for _, v := range qms {
-			sum += v
-		}
-		r.MeanQueueMS = sum / float64(len(qms))
-	}
+	lat := g.m.latency.Snapshot()
+	r.P50MS, r.P90MS, r.P99MS = lat.P50, lat.P90, lat.P99
+	r.MaxMS, r.MeanMS = lat.Max, lat.Mean
+	r.MeanQueueMS = g.m.queueWait.Snapshot().Mean
 	return r
 }
 
 // Percentile returns the q-quantile of an ascending-sorted sample set by
 // linear interpolation. It is total: an empty set or a NaN q yields 0, and
 // q is clamped into [0, 1] — a caller asking for the "110th percentile"
-// gets the max, never an out-of-range read or an extrapolated value.
+// gets the max, never an out-of-range read or an extrapolated value. It is
+// the telemetry histogram quantile — one implementation serves both paths.
 func Percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 || math.IsNaN(q) {
-		return 0
-	}
-	if q <= 0 {
-		return sorted[0]
-	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
-	}
-	pos := q * float64(len(sorted)-1)
-	lo := int(pos)
-	if lo >= len(sorted)-1 {
-		return sorted[len(sorted)-1]
-	}
-	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	return telemetry.Quantile(sorted, q)
 }
 
 // complete delivers one result and updates accounting. The settled CAS makes
@@ -468,18 +503,24 @@ func (g *Gateway) complete(req *request, res Result) bool {
 	if !req.settled.CompareAndSwap(false, true) {
 		return false
 	}
+	now := g.cfg.Clock.Now()
 	res.RequestID = req.id
 	res.QueueMS = durMS(time.Duration(req.dispatch.Load()) - req.enq)
-	res.TotalMS = durMS(g.cfg.Clock.Now() - req.enq)
+	res.TotalMS = durMS(now - req.enq)
 	g.q.release(req.session)
-	g.completed.Add(1)
+	g.m.completed.Inc()
 	if res.Err != nil {
-		g.errored.Add(1)
+		g.m.errored.Inc()
 	}
-	g.mu.Lock()
-	g.latencies = append(g.latencies, res.TotalMS)
-	g.queueMS = append(g.queueMS, res.QueueMS)
-	g.mu.Unlock()
+	g.m.latency.Observe(res.TotalMS)
+	g.m.queueWait.Observe(res.QueueMS)
+	if req.trace != nil {
+		msg := ""
+		if res.Err != nil {
+			msg = res.Err.Error()
+		}
+		req.trace.Finish(durMS(now), msg)
+	}
 	req.done <- res
 	return true
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cadmc/internal/telemetry"
 	"cadmc/internal/tensor"
 )
 
@@ -26,6 +27,10 @@ type request struct {
 	// settled flips exactly once, by whichever worker completes the request
 	// first — the exactly-once guard that makes restart + requeue safe.
 	settled atomic.Bool
+	// trace records the request's span waterfall when the gateway was built
+	// with a Tracer; nil otherwise. Written once in Submit before push —
+	// workers only ever read it.
+	trace *telemetry.TraceBuilder
 }
 
 // admitQueue is the bounded admission stage: a buffered channel carries the

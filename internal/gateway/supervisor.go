@@ -80,7 +80,7 @@ func (g *Gateway) restartWorker(w *worker, orphan []*request) {
 		g.mu.Unlock()
 		// No replacement channel available: the orphaned requests still get
 		// a definitive answer rather than hanging forever.
-		g.restarts.Add(1)
+		g.m.restarts.Inc()
 		for _, r := range pending {
 			g.complete(r, Result{Err: err})
 		}
@@ -88,8 +88,8 @@ func (g *Gateway) restartWorker(w *worker, orphan []*request) {
 	}
 	g.workers = append(g.workers, nw)
 	g.mu.Unlock()
-	g.restarts.Add(1)
-	g.requeued.Add(int64(len(pending)))
+	g.m.restarts.Inc()
+	g.m.requeued.Add(int64(len(pending)))
 	// Safe Add-during-Wait: the supervisor itself holds a slot in g.wg, so
 	// the counter cannot reach zero while this runs.
 	g.wg.Add(1)

@@ -65,14 +65,14 @@ func (m *SwapManager) Poll(tMS float64) (bool, error) {
 	m.desired = k
 	v, served, quarantined, err := m.provider.ForClassHealthy(k)
 	if quarantined > 0 {
-		m.gw.quarantines.Add(int64(quarantined))
+		m.gw.m.quarantines.Add(int64(quarantined))
 	}
 	if err != nil {
 		if m.class >= 0 {
 			// Every candidate is quarantined or broken: keep serving the
 			// last-known-good variant already installed. This is a rollback,
 			// not a failure — requests keep flowing.
-			m.gw.rollbacks.Add(1)
+			m.gw.m.rollbacks.Inc()
 			return false, nil
 		}
 		return false, fmt.Errorf("gateway: install class %d (%.2f Mbps): %w", k, w, err)
@@ -80,7 +80,7 @@ func (m *SwapManager) Poll(tMS float64) (bool, error) {
 	if served != k {
 		// The desired class could not be served; a healthy fallback was
 		// picked instead.
-		m.gw.rollbacks.Add(1)
+		m.gw.m.rollbacks.Inc()
 	}
 	if served == m.class && m.gw.CurrentVariant() == v {
 		// The healthy choice is exactly what is already serving (e.g. the

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,16 +66,21 @@ func (w *worker) serve(batch []*request) {
 	budget := w.g.cfg.RequestBudget
 	live := make([]*request, 0, len(batch))
 	minRemaining := time.Duration(0)
+	newestEnq := time.Duration(0)
 	for _, r := range batch {
 		if r.settled.Load() {
 			continue
 		}
 		r.dispatch.Store(int64(now))
+		if r.trace != nil {
+			r.trace.SetLabel(v.Sig)
+			r.trace.Span("queue", "", durMS(r.enq), durMS(now))
+		}
 		if budget > 0 {
 			remaining := budget - (now - r.enq)
 			if remaining <= 0 {
 				if w.g.complete(r, Result{VariantSig: v.Sig, Err: ErrBudgetExceeded}) {
-					w.g.budgetExpired.Add(1)
+					w.g.m.budgetExpired.Inc()
 				}
 				continue
 			}
@@ -82,17 +88,31 @@ func (w *worker) serve(batch []*request) {
 				minRemaining = remaining
 			}
 		}
+		if r.enq > newestEnq {
+			newestEnq = r.enq
+		}
 		live = append(live, r)
 	}
 	if len(live) == 0 {
 		return
 	}
-	w.g.batches.Add(1)
-	w.g.batchedReqs.Add(int64(len(live)))
+	w.g.m.batches.Inc()
+	w.g.m.batchedReqs.Add(int64(len(live)))
+	w.g.m.batchSize.Observe(float64(len(live)))
+	// Assemble time is how long the batch's last arrival waited for pickup —
+	// derived from existing stamps, not a fresh clock read, so a
+	// deterministic clock's read sequence is unchanged by metering.
+	w.g.m.batchAssemble.Observe(durMS(now - newestEnq))
 
 	// Publish the batch for the supervisor: heartbeat first, then cur, so a
 	// watchdog that sees cur != nil always sees a heartbeat at least as
-	// fresh as the pickup.
+	// fresh as the pickup. The defer stores the last value this worker read
+	// from the clock rather than reading it again: the batch's results are
+	// already delivered by then, so a fresh read would race the submitter's
+	// next Clock.Now and break deterministic replay. The supervisor only
+	// consults heartbeat while cur != nil, so the slightly stale value is
+	// never load-bearing.
+	end := now
 	w.heartbeat.Store(int64(now))
 	w.mu.Lock()
 	w.cur = live
@@ -101,7 +121,7 @@ func (w *worker) serve(batch []*request) {
 		w.mu.Lock()
 		w.cur = nil
 		w.mu.Unlock()
-		w.heartbeat.Store(int64(w.g.cfg.Clock.Now()))
+		w.heartbeat.Store(int64(end))
 	}()
 
 	v.inflight.Add(int64(len(live)))
@@ -112,6 +132,7 @@ func (w *worker) serve(batch []*request) {
 	for i, r := range live {
 		xs[i] = r.input
 	}
+	execStart := w.g.cfg.Clock.Now()
 	var (
 		outcomes []serving.BatchOutcome
 		err      error
@@ -123,16 +144,27 @@ func (w *worker) serve(batch []*request) {
 	} else {
 		outcomes, err = exec.InferBatch(xs, v.Cut)
 	}
+	execEnd := w.g.cfg.Clock.Now()
+	end = execEnd
+	batchDetail := fmt.Sprintf("size=%d", len(live))
 	if err != nil {
 		// Whole-batch rejection: answer every request with the error rather
 		// than dropping any.
 		for _, r := range live {
+			if r.trace != nil {
+				r.trace.Span("batch", batchDetail, durMS(now), durMS(execStart))
+				r.trace.Span("error", err.Error(), durMS(execStart), durMS(execEnd))
+			}
 			w.g.complete(r, Result{VariantSig: v.Sig, BatchSize: len(live), Err: err})
 		}
 		return
 	}
 	for i, r := range live {
 		o := outcomes[i]
+		if r.trace != nil {
+			r.trace.Span("batch", batchDetail, durMS(now), durMS(execStart))
+			r.trace.Span(routeSpanName(o), "", durMS(execStart), durMS(execEnd))
+		}
 		if w.g.complete(r, Result{
 			Logits:     o.Logits,
 			Route:      o.Route,
@@ -140,9 +172,18 @@ func (w *worker) serve(batch []*request) {
 			BatchSize:  len(live),
 			Err:        o.Err,
 		}) && o.Err != nil && errorIsBudget(o.Err) {
-			w.g.budgetExpired.Add(1)
+			w.g.m.budgetExpired.Inc()
 		}
 	}
+}
+
+// routeSpanName labels the execution span of one outcome: the route that
+// served it, or "error" when the request failed before any route resolved.
+func routeSpanName(o serving.BatchOutcome) string {
+	if o.Route == 0 {
+		return "error"
+	}
+	return o.Route.String()
 }
 
 // errorIsBudget reports whether an outcome failed on an exhausted deadline
@@ -165,6 +206,7 @@ func (w *worker) executor(v *Variant) *serving.SplitExecutor {
 		ModelID:       v.ModelID,
 		Client:        w.offloader,
 		FallbackLocal: true,
+		Metrics:       w.g.cfg.Metrics,
 	}
 	w.execs[v.Sig] = e
 	return e

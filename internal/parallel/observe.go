@@ -1,0 +1,79 @@
+package parallel
+
+import "sync/atomic"
+
+// Cumulative runtime counters, process-wide like the pool itself. They are
+// published as point-in-time gauges (see Observe), never as counter deltas,
+// so repeated exports stay idempotent.
+var (
+	// forCalls counts For invocations with work to do; forInline is the
+	// subset that ran entirely on the caller (single chunk, one proc, or
+	// serial pin).
+	forCalls  atomic.Int64
+	forInline atomic.Int64
+	// forChunks and forEnlisted count scheduled chunks and enlisted pool
+	// helpers across all fanned-out For calls.
+	forChunks   atomic.Int64
+	forEnlisted atomic.Int64
+	// forBusyNS accumulates wall nanoseconds spent inside fanned-out For
+	// calls — the runtime's parallel-phase timer.
+	forBusyNS atomic.Int64
+)
+
+// MetricSink is the subset of a metrics registry this package publishes
+// into. The runtime's counters are cumulative process-wide atomics, so they
+// are exported as gauges: Observe overwrites rather than accumulates, and
+// exporting twice never double-counts.
+type MetricSink interface {
+	SetGauge(name string, v float64)
+}
+
+// RuntimeStats is a snapshot of the compute runtime's counters.
+type RuntimeStats struct {
+	// ForCalls / ForInline / ForChunks / ForEnlisted mirror the package
+	// counters above.
+	ForCalls    int64
+	ForInline   int64
+	ForChunks   int64
+	ForEnlisted int64
+	// ForBusyMS is the cumulative wall time inside fanned-out For calls.
+	ForBusyMS float64
+	// PoolWorkers is the number of pool workers currently spawned.
+	PoolWorkers int
+	// ArenaHits / ArenaMisses mirror ArenaStats.
+	ArenaHits   int64
+	ArenaMisses int64
+}
+
+// Stats snapshots the runtime counters.
+func Stats() RuntimeStats {
+	hits, misses := ArenaStats()
+	return RuntimeStats{
+		ForCalls:    forCalls.Load(),
+		ForInline:   forInline.Load(),
+		ForChunks:   forChunks.Load(),
+		ForEnlisted: forEnlisted.Load(),
+		ForBusyMS:   float64(forBusyNS.Load()) / 1e6,
+		PoolWorkers: Workers(),
+		ArenaHits:   hits,
+		ArenaMisses: misses,
+	}
+}
+
+// Observe publishes the current runtime counters into sink under the
+// parallel.* namespace. Call it at snapshot points (end of a run, before
+// rendering an exposition); it is cheap enough to call repeatedly.
+func Observe(sink MetricSink) {
+	if sink == nil {
+		return
+	}
+	s := Stats()
+	sink.SetGauge("parallel.for.calls", float64(s.ForCalls))
+	sink.SetGauge("parallel.for.inline", float64(s.ForInline))
+	sink.SetGauge("parallel.for.chunks", float64(s.ForChunks))
+	sink.SetGauge("parallel.for.enlisted", float64(s.ForEnlisted))
+	sink.SetGauge("parallel.for.busy_ms", s.ForBusyMS)
+	sink.SetGauge("parallel.pool.workers", float64(s.PoolWorkers))
+	sink.SetGauge("parallel.arena.hits", float64(s.ArenaHits))
+	sink.SetGauge("parallel.arena.misses", float64(s.ArenaMisses))
+}

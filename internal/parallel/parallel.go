@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // serialForced pins every For call to the caller's goroutine. It is set by
@@ -100,12 +101,14 @@ func For(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	forCalls.Add(1)
 	if grain < 1 {
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
 	helpers := runtime.GOMAXPROCS(0) - 1
 	if helpers <= 0 || chunks <= 1 || serialForced.Load() {
+		forInline.Add(1)
 		fn(0, n)
 		return
 	}
@@ -113,6 +116,14 @@ func For(n, grain int, fn func(lo, hi int)) {
 		helpers = chunks - 1
 	}
 	ensureWorkers(helpers)
+	// Phase timer: two wall reads bracketing the fan-out, amortised over the
+	// whole chunked pass — this package is not on the injected-clock seam, so
+	// real time is the right thing to measure here.
+	forChunks.Add(int64(chunks))
+	phaseStart := time.Now()
+	defer func() {
+		forBusyNS.Add(time.Since(phaseStart).Nanoseconds())
+	}()
 
 	// Dynamic chunk scheduling off a shared counter: executors pull the
 	// next unclaimed chunk until none remain. Scheduling order is
@@ -152,6 +163,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 		// depends on enlisting anyone.
 		runtime.Gosched()
 	}
+	forEnlisted.Add(int64(enlisted))
 	body()
 	wg.Wait()
 }

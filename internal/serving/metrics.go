@@ -1,0 +1,44 @@
+package serving
+
+// MetricSink receives serving-layer measurements. It is the package's only
+// view of the telemetry subsystem — serving never imports it, so the metric
+// dependency points outward and *telemetry.Registry satisfies the interface
+// directly. All methods must be safe for concurrent use.
+type MetricSink interface {
+	// Count adds delta to the named counter.
+	Count(name string, delta int64)
+	// SetGauge sets the named gauge to v (last write wins).
+	SetGauge(name string, v float64)
+	// Observe records v into the named histogram.
+	Observe(name string, v float64)
+}
+
+// Meterable is implemented by offloaders that can be wired to a metric sink
+// after construction. The gateway uses it to meter the per-worker offload
+// channels its NewOffloader callback builds without knowing their concrete
+// type.
+type Meterable interface {
+	// MeterWith attaches sink if no sink is attached yet; a sink configured
+	// explicitly at construction is never displaced.
+	MeterWith(sink MetricSink)
+}
+
+// Metric names emitted by this package. Latencies are milliseconds.
+const (
+	metricOffloadRequests     = "serving.offload.requests"
+	metricOffloadAttempts     = "serving.offload.attempts"
+	metricOffloadSuccess      = "serving.offload.success"
+	metricOffloadRetries      = "serving.offload.retries"
+	metricOffloadRedials      = "serving.offload.redials"
+	metricOffloadRemoteErrors = "serving.offload.remote_errors"
+	metricOffloadRejectedOpen = "serving.offload.rejected_open"
+	metricOffloadUnavailable  = "serving.offload.unavailable"
+	metricOffloadBudget       = "serving.offload.budget_exhausted"
+	metricOffloadLatency      = "serving.offload.latency_ms"
+	metricBreakerOpens        = "serving.breaker.opens"
+	metricBreakerState        = "serving.breaker.state"
+	metricRouteEdgeOnly       = "serving.route.edge_only"
+	metricRouteOffloaded      = "serving.route.offloaded"
+	metricRouteFallback       = "serving.route.fallback"
+	metricBudgetShed          = "serving.budget.shed"
+)

@@ -48,6 +48,10 @@ type ResilientOptions struct {
 	// Sleep waits between attempts; nil uses time.Sleep. The live emulator
 	// injects a no-op to keep virtual time exact.
 	Sleep func(time.Duration)
+	// Metrics, when set, receives per-offload counters and latency
+	// observations under serving.offload.* / serving.breaker.* names. Nil
+	// disables metering (and skips the clock reads it would need).
+	Metrics MetricSink
 }
 
 // DefaultResilientOptions returns the production tuning.
@@ -145,6 +149,67 @@ func DialResilient(addr string, opts ResilientOptions) (*ResilientClient, error)
 	}, opts)
 }
 
+// MeterWith attaches a metric sink unless one was already configured via
+// ResilientOptions.Metrics — an explicit sink is never displaced. It
+// implements Meterable so the gateway can meter per-worker channels it did
+// not construct itself.
+func (c *ResilientClient) MeterWith(sink MetricSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opts.Metrics == nil {
+		c.opts.Metrics = sink
+	}
+}
+
+// count and observe forward to the metric sink when one is attached.
+// Callers hold c.mu.
+func (c *ResilientClient) count(name string, delta int64) {
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.Count(name, delta)
+	}
+}
+
+func (c *ResilientClient) observe(name string, v float64) {
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.Observe(name, v)
+	}
+}
+
+// meterSuccess records one successful round trip: the success counter, the
+// request latency (startNS was read iff a sink is attached) and the breaker
+// settling closed.
+func (c *ResilientClient) meterSuccess(startNS time.Duration) {
+	if c.opts.Metrics == nil {
+		return
+	}
+	c.opts.Metrics.Count(metricOffloadSuccess, 1)
+	c.opts.Metrics.Observe(metricOffloadLatency, float64(c.now()-startNS)/float64(time.Millisecond))
+	c.opts.Metrics.SetGauge(metricBreakerState, float64(BreakerClosed))
+}
+
+// meterFailure records one failed attempt and, when it tripped the breaker,
+// the open transition.
+func (c *ResilientClient) meterFailure(tripped bool) {
+	if c.opts.Metrics == nil {
+		return
+	}
+	if tripped {
+		c.opts.Metrics.Count(metricBreakerOpens, 1)
+		c.opts.Metrics.SetGauge(metricBreakerState, float64(BreakerOpen))
+	}
+}
+
+// meterStart stamps the request start for latency metering; it reads the
+// clock only when a sink is attached, so unmetered clients see exactly the
+// clock-read sequence they always did.
+func (c *ResilientClient) meterStart() time.Duration {
+	if c.opts.Metrics == nil {
+		return 0
+	}
+	c.count(metricOffloadRequests, 1)
+	return c.now()
+}
+
 // Offload ships the activation produced after layer cut of modelID and
 // returns the cloud's logits, retrying transport failures up to MaxAttempts
 // times with a fresh connection each time. It returns ErrCircuitOpen
@@ -160,24 +225,29 @@ func (c *ResilientClient) Offload(modelID string, cut int, act *tensor.Tensor) (
 	if c.closed {
 		return nil, errors.New("serving: resilient client closed")
 	}
+	start := c.meterStart()
 	c.nextID++
 	req := offloadRequest(c.nextID, modelID, cut, act.Shape, act.Data)
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.stats.Retries++
+			c.count(metricOffloadRetries, 1)
 			c.opts.Sleep(c.backoff(attempt))
 		}
 		if !c.breaker.Allow() {
+			c.count(metricOffloadRejectedOpen, 1)
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last transport error: %v)", ErrCircuitOpen, lastErr)
 			}
 			return nil, ErrCircuitOpen
 		}
+		c.count(metricOffloadAttempts, 1)
 		logits, err := c.attempt(req, c.opts.Timeout)
 		if err == nil {
 			c.breaker.Success()
 			c.stats.Offloads++
+			c.meterSuccess(start)
 			return logits, nil
 		}
 		var remote *RemoteError
@@ -186,13 +256,17 @@ func (c *ResilientClient) Offload(modelID string, cut int, act *tensor.Tensor) (
 			// for the breaker as a success and is not worth retrying.
 			c.breaker.Success()
 			c.stats.RemoteErrors++
+			c.count(metricOffloadRemoteErrors, 1)
 			return nil, err
 		}
-		if c.breaker.Failure() {
+		tripped := c.breaker.Failure()
+		if tripped {
 			c.stats.BreakerOpens++
 		}
+		c.meterFailure(tripped)
 		lastErr = err
 	}
+	c.count(metricOffloadUnavailable, 1)
 	return nil, fmt.Errorf("%w: %d attempts failed: %v", ErrUnavailable, c.opts.MaxAttempts, lastErr)
 }
 
@@ -216,6 +290,7 @@ func (c *ResilientClient) OffloadWithin(modelID string, cut int, act *tensor.Ten
 	}
 	start := c.now()
 	deadline := start + budget
+	c.count(metricOffloadRequests, 1)
 	c.nextID++
 	req := offloadRequest(c.nextID, modelID, cut, act.Shape, act.Data)
 	var lastErr error
@@ -226,6 +301,7 @@ func (c *ResilientClient) OffloadWithin(modelID string, cut int, act *tensor.Ten
 				break
 			}
 			c.stats.Retries++
+			c.count(metricOffloadRetries, 1)
 			c.opts.Sleep(wait)
 		}
 		remaining := deadline - c.now()
@@ -233,6 +309,7 @@ func (c *ResilientClient) OffloadWithin(modelID string, cut int, act *tensor.Ten
 			break
 		}
 		if !c.breaker.Allow() {
+			c.count(metricOffloadRejectedOpen, 1)
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last transport error: %v)", ErrCircuitOpen, lastErr)
 			}
@@ -242,23 +319,29 @@ func (c *ResilientClient) OffloadWithin(modelID string, cut int, act *tensor.Ten
 		if timeout <= 0 || timeout > remaining {
 			timeout = remaining
 		}
+		c.count(metricOffloadAttempts, 1)
 		logits, err := c.attempt(req, timeout)
 		if err == nil {
 			c.breaker.Success()
 			c.stats.Offloads++
+			c.meterSuccess(start)
 			return logits, nil
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
 			c.breaker.Success()
 			c.stats.RemoteErrors++
+			c.count(metricOffloadRemoteErrors, 1)
 			return nil, err
 		}
-		if c.breaker.Failure() {
+		tripped := c.breaker.Failure()
+		if tripped {
 			c.stats.BreakerOpens++
 		}
+		c.meterFailure(tripped)
 		lastErr = err
 	}
+	c.count(metricOffloadBudget, 1)
 	if lastErr != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBudgetExhausted, lastErr)
 	}
@@ -326,6 +409,7 @@ func (c *ResilientClient) ensure() error {
 	c.codec = newCodec(conn)
 	c.broken = false
 	c.stats.Redials++
+	c.count(metricOffloadRedials, 1)
 	return nil
 }
 

@@ -107,6 +107,10 @@ type SplitExecutor struct {
 	// FallbackLocal completes partitioned inferences on the edge when the
 	// channel is unavailable instead of failing them.
 	FallbackLocal bool
+	// Metrics, when set, receives per-route completion counters
+	// (serving.route.*) and budget-shed counts (serving.budget.shed) in
+	// addition to the SplitStats the executor always keeps.
+	Metrics MetricSink
 
 	mu    sync.Mutex
 	stats SplitStats
@@ -121,15 +125,30 @@ func (e *SplitExecutor) Stats() SplitStats {
 
 func (e *SplitExecutor) record(r Route) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.stats.Inferences++
+	var metric string
 	switch r {
 	case RouteEdgeOnly:
 		e.stats.EdgeOnly++
+		metric = metricRouteEdgeOnly
 	case RouteOffloaded:
 		e.stats.Offloaded++
+		metric = metricRouteOffloaded
 	case RouteFallback:
 		e.stats.Fallbacks++
+		metric = metricRouteFallback
+	}
+	sink := e.Metrics
+	e.mu.Unlock()
+	if sink != nil && metric != "" {
+		sink.Count(metric, 1)
+	}
+}
+
+// recordBudgetShed counts an inference shed on an exhausted deadline budget.
+func (e *SplitExecutor) recordBudgetShed() {
+	if e.Metrics != nil {
+		e.Metrics.Count(metricBudgetShed, 1)
 	}
 }
 
@@ -228,6 +247,7 @@ func (e *SplitExecutor) completeActBudget(act *tensor.Tensor, cut int, budget ti
 		return append([]float64(nil), act.Data...), RouteEdgeOnly, nil
 	}
 	if budget <= 0 {
+		e.recordBudgetShed()
 		return nil, 0, ErrBudgetExhausted
 	}
 	d, ok := e.Client.(DeadlineOffloader)
@@ -240,6 +260,7 @@ func (e *SplitExecutor) completeActBudget(act *tensor.Tensor, cut int, budget ti
 		return logits, RouteOffloaded, nil
 	}
 	if errors.Is(err, ErrBudgetExhausted) {
+		e.recordBudgetShed()
 		return nil, 0, err
 	}
 	if e.FallbackLocal && offloadUnavailable(err) {

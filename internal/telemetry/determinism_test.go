@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildSnapshot drives a fixed workload into a fresh registry from `workers`
+// concurrent goroutines and returns the rendered exposition. The workload's
+// value multiset is independent of the scheduling, so the exposition must be
+// byte-identical however the observations interleave.
+func buildSnapshot(workers int) string {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				r.Counter("det.requests").Inc()
+				r.Count(fmt.Sprintf("det.worker_class.%d", i%4), 1)
+				r.Observe("det.latency_ms", float64((w*256+i)%37)/2)
+				r.Histogram("det.batch", []float64{1, 2, 4, 8}).Observe(float64(i%9 + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Gauges are last-write-wins; write them after the barrier so the final
+	// value is part of the fixed workload, not a race.
+	r.SetGauge("det.workers", float64(workers))
+	snap := r.Snapshot()
+	return snap.Text()
+}
+
+// TestTelemetrySnapshotDeterminism asserts the exposition is bit-identical
+// at GOMAXPROCS 1, 4 and 8: the same observation multiset must render the
+// same bytes no matter how many cores raced the writes. Run with
+// -race -count=2 by the check.sh telemetry gate.
+func TestTelemetrySnapshotDeterminism(t *testing.T) {
+	if os.Getenv("CADMC_SERIAL") == "1" {
+		t.Skip("serial pin requested; concurrency sweep not meaningful")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var want string
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := buildSnapshot(8)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("snapshot differs at GOMAXPROCS=%d:\n%s\nvs baseline:\n%s", procs, got, want)
+		}
+	}
+	// And it must contain what the workload put in.
+	if want == "" {
+		t.Fatal("no snapshot built")
+	}
+	if wantLine := fmt.Sprintf("counter det.requests %d", 8*256); !strings.Contains(want, wantLine) {
+		t.Fatalf("snapshot missing %q:\n%s", wantLine, want)
+	}
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultLatencyBuckets are the millisecond bucket upper bounds a histogram
+// gets when created without explicit bounds; they span sub-millisecond
+// micro-batches to multi-second chaos-test outliers.
+var DefaultLatencyBuckets = []float64{
+	0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+}
+
+// Histogram records a distribution two ways at once: fixed cumulative-style
+// buckets for the exposition, and the exact sample multiset for exact
+// quantiles — the same quantile semantics gateway.Percentile has always had,
+// now shared through Quantile. Samples are retained for the registry's
+// lifetime (one float64 per observation, the same cost the gateway's old
+// latency slice paid), which is what makes the quantiles exact instead of
+// bucket-interpolated.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds; the overflow bucket is implicit
+	counts  []int64   // len(bounds)+1, per-bucket (not cumulative)
+	samples []float64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds; nil or empty bounds pick DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]int64, len(b)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: bucket "le=bound"
+	h.mu.Lock()
+	h.counts[i]++
+	h.samples = append(h.samples, v)
+	h.mu.Unlock()
+}
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int64(len(h.samples))
+}
+
+// Samples returns a sorted copy of every observed sample — the input shape
+// Quantile expects.
+func (h *Histogram) Samples() []float64 {
+	h.mu.Lock()
+	s := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	sort.Float64s(s)
+	return s
+}
+
+// BucketSnap is one histogram bucket in a snapshot. LE is the bucket's upper
+// bound rendered as text ("+Inf" for the overflow bucket) so the snapshot
+// survives JSON, which cannot carry infinities. Count is cumulative: the
+// number of samples ≤ LE.
+type BucketSnap struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnap is one histogram in a snapshot. Every derived statistic is
+// computed from the sorted sample multiset, so it is independent of
+// observation order — concurrent writers at any GOMAXPROCS produce the same
+// snapshot as a serial loop observing the same values.
+type HistogramSnap struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     float64      `json:"p50"`
+	P90     float64      `json:"p90"`
+	P99     float64      `json:"p99"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current state (Name is filled by the
+// registry). An empty histogram reports zeros everywhere — like Quantile it
+// is NaN-free on empty input.
+func (h *Histogram) Snapshot() HistogramSnap {
+	h.mu.Lock()
+	samples := append([]float64(nil), h.samples...)
+	counts := append([]int64(nil), h.counts...)
+	h.mu.Unlock()
+	sort.Float64s(samples)
+
+	snap := HistogramSnap{Count: int64(len(samples))}
+	if len(samples) > 0 {
+		// Summing in sorted order makes Sum (and Mean) a pure function of the
+		// sample multiset, not of the interleaving that produced it.
+		sum := 0.0
+		for _, v := range samples {
+			sum += v
+		}
+		snap.Sum = sum
+		snap.Min = samples[0]
+		snap.Max = samples[len(samples)-1]
+		snap.Mean = sum / float64(len(samples))
+		snap.P50 = Quantile(samples, 0.50)
+		snap.P90 = Quantile(samples, 0.90)
+		snap.P99 = Quantile(samples, 0.99)
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		snap.Buckets = append(snap.Buckets, BucketSnap{LE: le, Count: cum})
+	}
+	return snap
+}
+
+// Quantile returns the q-quantile of an ascending-sorted sample set by
+// linear interpolation. It is total: an empty set or a NaN q yields 0, and q
+// is clamped into [0, 1] — a caller asking for the "110th percentile" gets
+// the max, never an out-of-range read or an extrapolated value. This is the
+// single quantile implementation in the repo; gateway.Percentile delegates
+// here.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

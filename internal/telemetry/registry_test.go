@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCreateOrGet(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("gateway.admitted")
+	c2 := r.Counter("gateway.admitted")
+	if c1 != c2 {
+		t.Fatal("Counter must return the same handle for the same name")
+	}
+	if g1, g2 := r.Gauge("x"), r.Gauge("x"); g1 != g2 {
+		t.Fatal("Gauge must return the same handle for the same name")
+	}
+	if h1, h2 := r.Histogram("h", nil), r.Histogram("h", []float64{1}); h1 != h2 {
+		t.Fatal("Histogram must return the same handle for the same name")
+	}
+	c1.Add(3)
+	c1.Inc()
+	if got := c2.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	r.Gauge("x").Set(2.5)
+	if got := r.Gauge("x").Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 2, 3, 7, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Min != 0.5 || s.Max != 50 {
+		t.Fatalf("min/max = %v/%v, want 0.5/50", s.Min, s.Max)
+	}
+	if s.Sum != 62.5 {
+		t.Fatalf("sum = %v, want 62.5", s.Sum)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v, want 3", s.P50)
+	}
+	// Cumulative buckets: le=1 → 1 sample, le=5 → 3, le=10 → 4, +Inf → 5.
+	wantCum := []int64{1, 3, 4, 5}
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if s.Buckets[i].Count != want {
+			t.Fatalf("bucket %d (le=%s) = %d, want %d", i, s.Buckets[i].LE, s.Buckets[i].Count, want)
+		}
+	}
+	if s.Buckets[len(s.Buckets)-1].LE != "+Inf" {
+		t.Fatalf("last bucket le = %q, want +Inf", s.Buckets[len(s.Buckets)-1].LE)
+	}
+}
+
+func TestHistogramEmptySnapshotIsZero(t *testing.T) {
+	s := NewHistogram(nil).Snapshot()
+	for name, v := range map[string]float64{
+		"sum": s.Sum, "min": s.Min, "max": s.Max, "mean": s.Mean,
+		"p50": s.P50, "p90": s.P90, "p99": s.P99,
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("empty histogram %s = %v, want 0", name, v)
+		}
+	}
+}
+
+// Quantile must be total: any (sample set, q) pair — empty, out-of-range,
+// NaN — yields a finite value, matching gateway.Percentile's contract.
+func TestQuantileTotal(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty out of range", nil, 1.5, 0},
+		{"nan q", []float64{1, 2}, math.NaN(), 0},
+		{"single", []float64{7}, 0.5, 7},
+		{"q below zero clamps to min", []float64{1, 2, 3}, -0.2, 1},
+		{"q above one clamps to max", []float64{1, 2, 3}, 1.7, 3},
+		{"exact median", []float64{1, 2, 3}, 0.5, 2},
+		{"interpolated", []float64{0, 10}, 0.25, 2.5},
+		{"p99 of pair", []float64{0, 100}, 0.99, 99},
+	}
+	for _, c := range cases {
+		got := Quantile(c.sorted, c.q)
+		if math.IsNaN(got) {
+			t.Errorf("%s: Quantile returned NaN", c.name)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Quantile(%v, %v) = %v, want %v", c.name, c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotTextAndJSONAreSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Count("z.last", 1)
+	r.Count("a.first", 2)
+	r.SetGauge("m.middle", 0.5)
+	r.Observe("lat.ms", 3)
+	s := r.Snapshot()
+	text := s.Text()
+	if !strings.Contains(text, "counter a.first 2\ncounter z.last 1\n") {
+		t.Fatalf("counters not sorted in text exposition:\n%s", text)
+	}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if len(back.Counters) != 2 || back.Counters[0].Name != "a.first" {
+		t.Fatalf("JSON round trip lost counters: %+v", back.Counters)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 1 {
+		t.Fatalf("JSON round trip lost histogram: %+v", back.Histograms)
+	}
+}
+
+// TestRegistryConcurrentStress hammers one registry from many goroutines and
+// asserts the totals are exact: counters sum precisely, the histogram holds
+// every observation, and the snapshot is the same as a serial run's.
+func TestRegistryConcurrentStress(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 500
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Create-or-get races on the same names on purpose.
+				r.Counter("stress.count").Inc()
+				r.Count("stress.bulk", 2)
+				r.SetGauge("stress.gauge", 1)
+				r.Observe("stress.lat", float64(i%10))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("stress.count").Value(); got != goroutines*perG {
+		t.Fatalf("stress.count = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Counter("stress.bulk").Value(); got != 2*goroutines*perG {
+		t.Fatalf("stress.bulk = %d, want %d", got, 2*goroutines*perG)
+	}
+	h := r.Histogram("stress.lat", nil).Snapshot()
+	if h.Count != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+	// The same multiset observed serially must snapshot identically.
+	serial := NewRegistry()
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			serial.Observe("stress.lat", float64(i%10))
+		}
+	}
+	want := serial.Histogram("stress.lat", nil).Snapshot()
+	want.Name = h.Name
+	if h.Sum != want.Sum || h.Mean != want.Mean || h.P50 != want.P50 || h.P99 != want.P99 {
+		t.Fatalf("concurrent snapshot differs from serial: %+v vs %+v", h, want)
+	}
+}

@@ -45,6 +45,10 @@ echo "== determinism suite (-count=2: parallel kernels must be bit-exact at any 
 go test -race -count=2 -run 'Determinism' \
     ./internal/parallel ./internal/tensor ./internal/nn ./internal/report
 
+echo "== telemetry determinism (-count=2: snapshots and traced replays must be bit-identical)"
+go test -race -count=2 -run 'Determinism|Snapshot|Trace|Registry' ./internal/telemetry
+go test -race -count=2 -run 'TestRunTraceBitIdenticalReplay' ./internal/emulator
+
 echo "== bench smoke (every benchmark must still run)"
 go test -run '^$' -bench . -benchtime 1x ./internal/tensor ./internal/nn ./internal/report
 
