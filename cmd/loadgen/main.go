@@ -76,6 +76,17 @@ type resilienceStats struct {
 	BudgetExpired int64 `json:"budget_expired"`
 }
 
+// wireStats is the offload channel's wire-level cost during the gateway
+// phase, fed by the per-worker codec instruments (client side of the link:
+// request frames out, response frames in).
+type wireStats struct {
+	TxBytes         int64   `json:"tx_bytes"`
+	RxBytes         int64   `json:"rx_bytes"`
+	BytesPerRequest float64 `json:"bytes_per_request"`
+	MeanEncodeNS    float64 `json:"mean_encode_ns"`
+	MeanDecodeNS    float64 `json:"mean_decode_ns"`
+}
+
 type overloadStats struct {
 	Offered  int64   `json:"offered"`
 	Admitted int64   `json:"admitted"`
@@ -94,6 +105,7 @@ type benchReport struct {
 	Speedup         float64          `json:"batched_vs_unbatched_speedup"`
 	GatewayBatches  int64            `json:"gateway_batches"`
 	GatewayMeanSize float64          `json:"gateway_mean_batch"`
+	Wire            wireStats        `json:"gateway_wire"`
 	Resilience      resilienceStats  `json:"resilience"`
 	Overload        overloadStats    `json:"overload"`
 	// Metrics is the gateway phase's telemetry snapshot (with the compute
@@ -364,6 +376,13 @@ func run(requests, workers, maxBatch int, latencyMS float64, seed int64, out str
 		Speedup:         gw.ThroughputRPS / base.ThroughputRPS,
 		GatewayBatches:  rep.Batches,
 		GatewayMeanSize: rep.MeanBatch,
+		Wire: wireStats{
+			TxBytes:         rep.WireTxBytes,
+			RxBytes:         rep.WireRxBytes,
+			BytesPerRequest: rep.BytesPerRequest,
+			MeanEncodeNS:    rep.MeanEncodeNS,
+			MeanDecodeNS:    rep.MeanDecodeNS,
+		},
 		Resilience: resilienceStats{
 			Quarantines:   rep.Quarantines,
 			Rollbacks:     rep.Rollbacks,
@@ -380,8 +399,8 @@ func run(requests, workers, maxBatch int, latencyMS float64, seed int64, out str
 		snap := registry.Snapshot()
 		report.Metrics = &snap
 	}
-	fmt.Printf("baseline %.1f req/s | gateway %.1f req/s | speedup %.2fx | shed rate %.2f\n",
-		base.ThroughputRPS, gw.ThroughputRPS, report.Speedup, over.ShedRate)
+	fmt.Printf("baseline %.1f req/s | gateway %.1f req/s | speedup %.2fx | shed rate %.2f | wire %.0f B/req\n",
+		base.ThroughputRPS, gw.ThroughputRPS, report.Speedup, over.ShedRate, report.Wire.BytesPerRequest)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunWritesReport smokes the whole pipeline with a millisecond benchtime
+// and checks the report's shape and the invariants the bench exists to
+// demonstrate.
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "wire.json")
+	if err := run(time.Millisecond, out, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env.GoVersion == "" || rep.Env.GOMAXPROCS < 1 {
+		t.Fatalf("environment not recorded: %+v", rep.Env)
+	}
+	wantBatches := []int{1, 8, 32}
+	if len(rep.Batches) != len(wantBatches) {
+		t.Fatalf("got %d batch rows, want %d", len(rep.Batches), len(wantBatches))
+	}
+	for i, row := range rep.Batches {
+		if row.Batch != wantBatches[i] {
+			t.Fatalf("row %d batch = %d, want %d", i, row.Batch, wantBatches[i])
+		}
+		for _, mode := range codecModes {
+			st, ok := row.Codecs[mode]
+			if !ok {
+				t.Fatalf("batch %d: missing codec %s", row.Batch, mode)
+			}
+			if st.Iterations < 1 || st.NsPerFrame <= 0 || st.ReqFrameBytes <= 0 {
+				t.Fatalf("batch %d/%s: empty measurement %+v", row.Batch, mode, st)
+			}
+		}
+		bin := row.Codecs["binary"]
+		f32 := row.Codecs["binary_f32"]
+		gob := row.Codecs["gob"]
+		// The structural invariants hold at any benchtime: the narrowed
+		// request frame is smaller than the full-width one, and the binary
+		// framing never out-sizes gob.
+		if f32.ReqFrameBytes >= bin.ReqFrameBytes {
+			t.Fatalf("batch %d: f32 frame %dB not smaller than f64 frame %dB", row.Batch, f32.ReqFrameBytes, bin.ReqFrameBytes)
+		}
+		if bin.ReqFrameBytes > gob.ReqFrameBytes {
+			t.Fatalf("batch %d: binary frame %dB larger than gob %dB", row.Batch, bin.ReqFrameBytes, gob.ReqFrameBytes)
+		}
+	}
+	d := rep.F32Drift
+	if d.Protocol != "binary-v1+f32" {
+		t.Fatalf("drift harness negotiated %q, want binary-v1+f32", d.Protocol)
+	}
+	if d.Inputs < 1 || d.Top1Agreement < 0.95 {
+		t.Fatalf("drift harness: %+v", d)
+	}
+	if d.MaxAbsError > 1e-4 {
+		t.Fatalf("f32 narrowing drift %v exceeds the documented 1e-4 bound", d.MaxAbsError)
+	}
+}
+
+// TestRunGateFails proves the floor flags turn the report into a gate: an
+// absurd speedup floor must fail the run.
+func TestRunGateFails(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "wire.json")
+	if err := run(time.Millisecond, out, 1e9, 0); err == nil {
+		t.Fatal("run with an unreachable speedup floor should fail")
+	}
+}

@@ -103,6 +103,11 @@ type Spec struct {
 	// passed through it; zero disables. This schedules a deterministic
 	// mid-stream truncation without probabilities.
 	CutAfterBytes int64
+	// CorruptByteAt XOR-flips the Nth byte (1-based) written through the
+	// connection and delivers everything else intact; zero disables. Unlike
+	// cuts and drops this damages a frame without touching its boundaries —
+	// the fault the wire codec's checksum-resync path exists for.
+	CorruptByteAt int64
 	// Outages are scheduled windows during which every read and write on the
 	// connection fails with an injected reset.
 	Outages []Window
@@ -181,7 +186,7 @@ func (g *Gate) Release() {
 
 // Validate checks the spec parameters.
 func (s Spec) Validate() error {
-	if s.LatencyMS < 0 || s.BandwidthMbps < 0 || s.CutAfterBytes < 0 {
+	if s.LatencyMS < 0 || s.BandwidthMbps < 0 || s.CutAfterBytes < 0 || s.CorruptByteAt < 0 {
 		return fmt.Errorf("faultnet: negative fault parameter in %+v", s)
 	}
 	if s.ResetProb < 0 || s.ResetProb > 1 || s.DropProb < 0 || s.DropProb > 1 {
@@ -332,6 +337,12 @@ func (c *Conn) Write(p []byte) (int, error) {
 		c.state = stateSilent
 		c.mu.Unlock()
 		return len(p), nil
+	}
+	if at := c.spec.CorruptByteAt; at > 0 && c.written < at && at-c.written <= int64(len(p)) {
+		// Flip one byte in a copy — the caller's buffer must stay intact.
+		q := append([]byte(nil), p...)
+		q[at-c.written-1] ^= 0xFF
+		p = q
 	}
 	c.mu.Unlock()
 	// The stall gate parks outside c.mu so Reads, deadline updates and Close

@@ -200,6 +200,18 @@ type Report struct {
 	P50MS, P90MS, P99MS, MaxMS, MeanMS float64
 	// MeanQueueMS is the mean admission-to-dispatch wait.
 	MeanQueueMS float64
+	// WireTxBytes / WireRxBytes are the offload channel's frame bytes as
+	// metered by the per-worker codecs (client side of the link: requests
+	// out, responses in).
+	WireTxBytes int64
+	WireRxBytes int64
+	// BytesPerRequest is (WireTxBytes+WireRxBytes)/Completed — the wire
+	// cost of one served request.
+	BytesPerRequest float64
+	// MeanEncodeNS / MeanDecodeNS are the mean per-frame encode and decode
+	// costs of the offload codec, in nanoseconds.
+	MeanEncodeNS float64
+	MeanDecodeNS float64
 }
 
 // gwMetrics bundles the telemetry handles behind the gateway's exact
@@ -226,6 +238,15 @@ type gwMetrics struct {
 	queueWait     *telemetry.Histogram
 	batchSize     *telemetry.Histogram
 	batchAssemble *telemetry.Histogram
+
+	// Wire-codec instruments, written by the per-worker offload codecs
+	// through the serving.MetricSink seam and read back for the Report's
+	// bytes-per-request accounting. Resolving them here also pins their
+	// nanosecond bucket bounds before the first codec Observe.
+	wireTx     *telemetry.Counter
+	wireRx     *telemetry.Counter
+	wireEncode *telemetry.Histogram
+	wireDecode *telemetry.Histogram
 }
 
 func newGWMetrics(r *telemetry.Registry) gwMetrics {
@@ -249,6 +270,10 @@ func newGWMetrics(r *telemetry.Registry) gwMetrics {
 		queueWait:     r.Histogram("gateway.queue_ms", nil),
 		batchSize:     r.Histogram("gateway.batch.size", []float64{1, 2, 4, 8, 16, 32, 64}),
 		batchAssemble: r.Histogram("gateway.batch.assemble_ms", nil),
+		wireTx:        r.Counter(serving.MetricWireTxBytes),
+		wireRx:        r.Counter(serving.MetricWireRxBytes),
+		wireEncode:    r.Histogram(serving.MetricWireEncodeNS, telemetry.DefaultNanosBuckets),
+		wireDecode:    r.Histogram(serving.MetricWireDecodeNS, telemetry.DefaultNanosBuckets),
 	}
 }
 
@@ -483,6 +508,13 @@ func (g *Gateway) Report() Report {
 	r.P50MS, r.P90MS, r.P99MS = lat.P50, lat.P90, lat.P99
 	r.MaxMS, r.MeanMS = lat.Max, lat.Mean
 	r.MeanQueueMS = g.m.queueWait.Snapshot().Mean
+	r.WireTxBytes = g.m.wireTx.Value()
+	r.WireRxBytes = g.m.wireRx.Value()
+	if r.Completed > 0 {
+		r.BytesPerRequest = float64(r.WireTxBytes+r.WireRxBytes) / float64(r.Completed)
+	}
+	r.MeanEncodeNS = g.m.wireEncode.Snapshot().Mean
+	r.MeanDecodeNS = g.m.wireDecode.Snapshot().Mean
 	return r
 }
 

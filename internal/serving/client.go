@@ -10,12 +10,15 @@ import (
 	"cadmc/internal/tensor"
 )
 
-// ErrClientBroken marks a client whose gob stream was poisoned by an earlier
-// transport error. A gob decoder that failed mid-frame (deadline, partial
-// read, reset) is desynchronized: the next Decode would silently consume a
-// stale or half-written frame and return another request's data. The client
-// therefore refuses every call after the first transport error; dial a new
-// client (or use ResilientClient, which redials automatically).
+// ErrClientBroken marks a client whose wire stream was poisoned by an
+// earlier transport error. A decoder that failed mid-frame (deadline,
+// partial read, reset, damaged header) is desynchronized: the next decode
+// would silently consume a stale or half-written frame and return another
+// request's data. The client therefore refuses every call after the first
+// unrecoverable transport error; dial a new client (or use ResilientClient,
+// which redials automatically). A checksum resync (ErrFrameResync) is the
+// one transport error that does NOT poison: the frame boundary survived, so
+// the stream stays usable and the call is simply retryable.
 var ErrClientBroken = errors.New("serving: client broken by a previous transport error")
 
 // Client is the edge side of the offload channel: it holds one persistent
@@ -24,11 +27,21 @@ var ErrClientBroken = errors.New("serving: client broken by a previous transport
 // per-inference pipeline of the paper; use one client per concurrent stream.
 type Client struct {
 	mu     sync.Mutex
-	codec  *codec
+	conn   net.Conn
+	codec  codec
 	broken bool
 	nextID uint64
-	// Timeout bounds one Offload round trip; zero means no deadline.
+	// Timeout bounds one Offload round trip (including the handshake on
+	// the first call); zero means no deadline.
 	Timeout time.Duration
+	// Wire configures the codec negotiation; set before the first Offload.
+	// The zero value proposes the binary protocol with bit-exact float64
+	// activations. The plain Client cannot redial, so against a server
+	// that predates the handshake set Mode to WireGob explicitly (or use
+	// ResilientClient, which downgrades and redials automatically).
+	Wire WireConfig
+
+	sink MetricSink
 }
 
 // Dial connects to a serving server.
@@ -41,9 +54,10 @@ func Dial(addr string) (*Client, error) {
 }
 
 // NewClient wraps an established connection (any net.Conn, e.g. net.Pipe in
-// tests).
+// tests). The codec handshake runs lazily on the first Offload, after Wire
+// and Timeout have been configured.
 func NewClient(conn net.Conn) *Client {
-	return &Client{codec: newCodec(conn)}
+	return &Client{conn: conn}
 }
 
 // offloadRequest builds the wire frame for one logical offload.
@@ -57,11 +71,35 @@ func offloadRequest(id uint64, modelID string, cut int, shape []int, data []floa
 	}
 }
 
+// MeterWith attaches a metric sink for the wire counters and per-frame
+// encode/decode histograms (serving.wire.*) unless one is already attached.
+// It implements Meterable; call it before the first Offload — the sink is
+// captured by the codec at handshake time.
+func (c *Client) MeterWith(sink MetricSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sink == nil {
+		c.sink = sink
+	}
+}
+
+// WireProtocol reports the negotiated codec — "binary-v1", "binary-v1+f32"
+// or "gob" — or "" before the first Offload ran the handshake.
+func (c *Client) WireProtocol() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.codec == nil {
+		return ""
+	}
+	return wireName(c.codec)
+}
+
 // Offload ships the activation produced after layer cut of modelID and
-// returns the logits the cloud computed. After any transport error —
-// deadline, partial read, reset, or a response answering a different
+// returns the logits the cloud computed. After any unrecoverable transport
+// error — deadline, partial read, reset, or a response answering a different
 // request — the client is poisoned and every subsequent call returns
-// ErrClientBroken.
+// ErrClientBroken. ErrFrameResync (a checksum-damaged frame under an intact
+// header) leaves the client usable: retry the call.
 func (c *Client) Offload(modelID string, cut int, act *tensor.Tensor) ([]float64, error) {
 	if act == nil {
 		return nil, errors.New("serving: nil activation")
@@ -72,15 +110,23 @@ func (c *Client) Offload(modelID string, cut int, act *tensor.Tensor) ([]float64
 		return nil, ErrClientBroken
 	}
 	if c.Timeout > 0 {
-		if err := c.codec.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+		if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
 			c.broken = true
 			return nil, fmt.Errorf("serving: set deadline: %w", err)
 		}
 		defer func() {
 			if !c.broken {
-				_ = c.codec.conn.SetDeadline(time.Time{})
+				_ = c.conn.SetDeadline(time.Time{})
 			}
 		}()
+	}
+	if c.codec == nil {
+		cd, err := negotiate(c.conn, c.Wire, DefaultMaxPayloadElems, c.sink, realNowNS(c.sink))
+		if err != nil {
+			c.broken = true
+			return nil, err
+		}
+		c.codec = cd
 	}
 	c.nextID++
 	req := offloadRequest(c.nextID, modelID, cut, act.Shape, act.Data)
@@ -90,6 +136,10 @@ func (c *Client) Offload(modelID string, cut int, act *tensor.Tensor) ([]float64
 	}
 	var resp Response
 	if err := c.codec.readResponse(&resp); err != nil {
+		if errors.Is(err, ErrFrameResync) {
+			// The frame was consumed whole; the stream is still aligned.
+			return nil, err
+		}
 		c.broken = true
 		return nil, fmt.Errorf("serving: read response: %w", err)
 	}
@@ -117,5 +167,5 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	c.broken = true
 	c.mu.Unlock()
-	return c.codec.conn.Close()
+	return c.conn.Close()
 }

@@ -3,7 +3,9 @@ package serving
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"io"
+	"math"
 	"net"
 	"testing"
 	"time"
@@ -24,7 +26,22 @@ func (c *fuzzConn) SetDeadline(time.Time) error      { return nil }
 func (c *fuzzConn) SetReadDeadline(time.Time) error  { return nil }
 func (c *fuzzConn) SetWriteDeadline(time.Time) error { return nil }
 
-// encodeRequests gob-encodes a frame sequence the way a real client would.
+// loopConn buffers writes and serves them back to reads — an in-memory
+// loopback for encode→decode round trips.
+type loopConn struct {
+	fuzzConn
+	buf bytes.Buffer
+}
+
+func newLoopConn() *loopConn {
+	c := &loopConn{}
+	c.r = &c.buf
+	return c
+}
+
+func (c *loopConn) Write(p []byte) (int, error) { return c.buf.Write(p) }
+
+// encodeRequests gob-encodes a frame sequence the way a legacy client would.
 func encodeRequests(tb testing.TB, reqs ...*Request) []byte {
 	tb.Helper()
 	var buf bytes.Buffer
@@ -37,15 +54,67 @@ func encodeRequests(tb testing.TB, reqs ...*Request) []byte {
 	return buf.Bytes()
 }
 
-// FuzzDecodeFrame drives the server-side decode path — the byte-metered gob
-// codec followed by activationTensor validation — with arbitrary bytes. The
-// contract under fuzz: never panic, and never admit an activation larger
-// than the payload limit, no matter what length prefixes or shapes the
-// frame claims.
+// encodeBinaryRequests frames a request sequence with the binary codec.
+func encodeBinaryRequests(tb testing.TB, maxElems int, narrow bool, reqs ...*Request) []byte {
+	tb.Helper()
+	conn := newLoopConn()
+	bc := newBinCodec(conn, maxElems, nil, nil, clientWireNames)
+	bc.narrow = narrow
+	for _, r := range reqs {
+		if err := bc.writeRequest(r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return conn.buf.Bytes()
+}
+
+// binaryRoundTrippable reports whether req survives the binary wire format
+// at all — gob happily carries negative dimensions and oversized shapes the
+// explicit format rejects at encode time.
+func binaryRoundTrippable(req *Request, maxElems int) bool {
+	if len(req.ModelID) > math.MaxUint16 || len(req.Shape) > math.MaxUint8 {
+		return false
+	}
+	for _, d := range req.Shape {
+		if d < 0 || int64(d) > math.MaxUint32 {
+			return false
+		}
+	}
+	return len(req.Activation) <= maxElems
+}
+
+// sameRequest compares two requests bit-exactly (floats by bit pattern, so
+// NaN payloads round-trip too).
+func sameRequest(a, b *Request) bool {
+	if a.ID != b.ID || a.Cut != b.Cut || a.ModelID != b.ModelID {
+		return false
+	}
+	if len(a.Shape) != len(b.Shape) || len(a.Activation) != len(b.Activation) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	for i := range a.Activation {
+		if math.Float64bits(a.Activation[i]) != math.Float64bits(b.Activation[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeFrame drives both server-side decode paths — the byte-metered
+// gob oracle and the checksummed binary codec — with arbitrary bytes, then
+// differentially round-trips every frame the oracle accepted through the
+// binary format. The contract under fuzz: neither decoder panics, neither
+// admits an activation larger than the payload limit, and any gob frame the
+// binary format can express decodes back bit-identical.
 func FuzzDecodeFrame(f *testing.F) {
 	const maxElems = 1 << 10
-	// Seed with well-formed frames, a truncated frame, a frame whose shape
-	// product overflows, and garbage.
+	// Seed with well-formed gob frames, a truncated frame, a frame whose
+	// shape product overflows, and garbage.
 	f.Add(encodeRequests(f, &Request{
 		ID: 1, ModelID: "m", Cut: 2,
 		Shape:      []int{2, 3, 4},
@@ -61,35 +130,105 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Add(bytes.Repeat([]byte{0x7f}, 256))
+	// Seed well-formed binary frames in both widths, one with a flipped
+	// payload byte (checksum resync), one with a flipped header byte, and a
+	// frame whose claimed length exceeds the budget.
+	wellFormed := &Request{
+		ID: 4, ModelID: "bin", Cut: 1,
+		Shape:      []int{2, 2, 2},
+		Activation: []float64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	binFrames := encodeBinaryRequests(f, maxElems, false, wellFormed, wellFormed)
+	f.Add(binFrames)
+	f.Add(encodeBinaryRequests(f, maxElems, true, wellFormed))
+	corruptPayload := append([]byte(nil), binFrames...)
+	corruptPayload[wireHeaderLen+3] ^= 0xFF
+	f.Add(corruptPayload)
+	corruptHeader := append([]byte(nil), binFrames...)
+	corruptHeader[6] ^= 0xFF
+	f.Add(corruptHeader)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// Same budget formula Server.handle uses, scaled to the fuzz limit.
+		// Same budget formula Server.handshake uses, scaled to the fuzz
+		// limit.
 		limit := int64(maxElems)*8 + 4096
-		cd := newLimitedCodec(&fuzzConn{r: bytes.NewReader(data)}, limit)
+		oracle := newLimitedGobCodec(&fuzzConn{r: bytes.NewReader(data)}, limit)
+		var accepted []*Request
 		for frames := 0; frames < 16; frames++ {
 			var req Request
-			if err := cd.readRequest(&req); err != nil {
+			if err := oracle.readRequest(&req); err != nil {
 				// Any error is a fine outcome for hostile bytes — the
 				// server closes the stream. Panics and runaway allocations
 				// are the bugs this fuzz hunts.
-				return
+				break
 			}
 			// The metered reader must have enforced the frame budget before
 			// gob ever materialised the payload.
 			if len(req.Activation) > maxElems {
-				t.Fatalf("decoded activation of %d elements through a %d-element budget",
+				t.Fatalf("gob decoded an activation of %d elements through a %d-element budget",
 					len(req.Activation), maxElems)
 			}
-			x, err := activationTensor(&req, maxElems)
-			if err != nil {
+			checkTensor(t, &req, maxElems)
+			accepted = append(accepted, &req)
+		}
+
+		// The binary decoder over the same raw bytes: recoverable errors
+		// (checksum resync, malformed-but-framed payloads) keep the stream,
+		// anything else ends it — and nothing may panic or overshoot the
+		// budget.
+		bc := newBinCodec(&fuzzConn{r: bytes.NewReader(data)}, maxElems, nil, nil, serverWireNames)
+		req := new(Request)
+		for frames := 0; frames < 16; frames++ {
+			err := bc.readRequest(req)
+			if err == nil {
+				if len(req.Activation) > maxElems {
+					t.Fatalf("binary codec decoded an activation of %d elements past the %d-element budget",
+						len(req.Activation), maxElems)
+				}
+				checkTensor(t, req, maxElems)
 				continue
 			}
-			if x.Len() > maxElems {
-				t.Fatalf("activationTensor admitted %d elements past the %d limit", x.Len(), maxElems)
+			var malformed *malformedPayloadError
+			if errors.Is(err, ErrFrameResync) || errors.As(err, &malformed) {
+				continue
 			}
-			if x.Len() != len(req.Activation) {
-				t.Fatalf("tensor length %d disagrees with payload %d", x.Len(), len(req.Activation))
+			break
+		}
+
+		// Differential leg: every frame the gob oracle accepted that the
+		// binary format can express must round-trip bit-identically.
+		for _, orig := range accepted {
+			if !binaryRoundTrippable(orig, maxElems) {
+				continue
+			}
+			conn := newLoopConn()
+			enc := newBinCodec(conn, maxElems, nil, nil, clientWireNames)
+			if err := enc.writeRequest(orig); err != nil {
+				t.Fatalf("binary encode of a gob-accepted request failed: %v", err)
+			}
+			dec := newBinCodec(conn, maxElems, nil, nil, serverWireNames)
+			var got Request
+			if err := dec.readRequest(&got); err != nil {
+				t.Fatalf("binary round trip of a gob-accepted request failed to decode: %v", err)
+			}
+			if !sameRequest(orig, &got) {
+				t.Fatalf("binary round trip diverged from the gob oracle:\n gob: %+v\n bin: %+v", orig, &got)
 			}
 		}
 	})
+}
+
+// checkTensor asserts activationTensor's cap invariants for one request.
+func checkTensor(t *testing.T, req *Request, maxElems int) {
+	t.Helper()
+	x, err := activationTensor(req, maxElems)
+	if err != nil {
+		return
+	}
+	if x.Len() > maxElems {
+		t.Fatalf("activationTensor admitted %d elements past the %d limit", x.Len(), maxElems)
+	}
+	if x.Len() != len(req.Activation) {
+		t.Fatalf("tensor length %d disagrees with payload %d", x.Len(), len(req.Activation))
+	}
 }

@@ -41,4 +41,22 @@ const (
 	metricRouteOffloaded      = "serving.route.offloaded"
 	metricRouteFallback       = "serving.route.fallback"
 	metricBudgetShed          = "serving.budget.shed"
+	metricOffloadResyncs      = "serving.offload.resyncs"
+)
+
+// Wire-codec metric names, exported so the gateway and load generator can
+// read frame bytes and encode/decode cost back out of a shared registry.
+// Byte names are counters; *_ns names are histograms of per-frame cost in
+// nanoseconds. The serving.wire.* set is the client (edge) side of the
+// channel; serving.server.wire.* is the cloud side, split so an in-process
+// client and server sharing one registry never double-count.
+const (
+	MetricWireTxBytes        = "serving.wire.tx_bytes"
+	MetricWireRxBytes        = "serving.wire.rx_bytes"
+	MetricWireEncodeNS       = "serving.wire.encode_ns"
+	MetricWireDecodeNS       = "serving.wire.decode_ns"
+	MetricWireServerTxBytes  = "serving.server.wire.tx_bytes"
+	MetricWireServerRxBytes  = "serving.server.wire.rx_bytes"
+	MetricWireServerEncodeNS = "serving.server.wire.encode_ns"
+	MetricWireServerDecodeNS = "serving.server.wire.decode_ns"
 )

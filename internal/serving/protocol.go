@@ -4,10 +4,12 @@
 // real network connection — the "Sending Features" arrow of the paper's
 // Fig. 2, made executable.
 //
-// The wire protocol is gob-encoded request/response frames over a single
-// persistent TCP (or any net.Conn) connection. One request carries the
-// activation produced after layer `Cut` of a registered model; the response
-// carries the logits the cloud computed by running layers (Cut, end).
+// The wire protocol is checksummed binary request/response frames (wire.go)
+// over a single persistent TCP (or any net.Conn) connection, negotiated down
+// to legacy gob framing when either side predates the handshake. One request
+// carries the activation produced after layer `Cut` of a registered model;
+// the response carries the logits the cloud computed by running layers
+// (Cut, end).
 //
 // The channel is designed to survive the paper's Fig. 1 networks: requests
 // carry idempotent IDs echoed by the server, the plain Client poisons its
@@ -97,8 +99,23 @@ func (b *byteLimitedReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// codec wraps a connection with gob encode/decode and a write lock.
-type codec struct {
+// codec is the framing seam between the transport and the serving logic.
+// Two implementations exist: binCodec (the hand-rolled binary protocol in
+// wire.go — the hot path) and gobCodec below, which survives as the
+// compatibility fallback for pre-handshake peers and as the differential
+// oracle the fuzz and bench suites compare against.
+type codec interface {
+	writeRequest(*Request) error
+	readRequest(*Request) error
+	writeResponse(*Response) error
+	readResponse(*Response) error
+	// netConn exposes the underlying connection for deadline control and
+	// teardown.
+	netConn() net.Conn
+}
+
+// gobCodec wraps a connection with gob encode/decode and a write lock.
+type gobCodec struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
@@ -108,19 +125,19 @@ type codec struct {
 	mu  sync.Mutex
 }
 
-func newCodec(conn net.Conn) *codec {
-	return &codec{
+func newGobCodec(conn net.Conn) *gobCodec {
+	return &gobCodec{
 		conn: conn,
 		enc:  gob.NewEncoder(conn),
 		dec:  gob.NewDecoder(conn),
 	}
 }
 
-// newLimitedCodec builds the server-side codec: request reads are metered
-// against limitBytes per frame.
-func newLimitedCodec(conn net.Conn, limitBytes int64) *codec {
+// newLimitedGobCodec builds the server-side gob codec: request reads are
+// metered against limitBytes per frame.
+func newLimitedGobCodec(conn net.Conn, limitBytes int64) *gobCodec {
 	lim := &byteLimitedReader{r: conn, limit: limitBytes}
-	return &codec{
+	return &gobCodec{
 		conn: conn,
 		enc:  gob.NewEncoder(conn),
 		dec:  gob.NewDecoder(lim),
@@ -128,7 +145,9 @@ func newLimitedCodec(conn net.Conn, limitBytes int64) *codec {
 	}
 }
 
-func (c *codec) writeRequest(r *Request) error {
+func (c *gobCodec) netConn() net.Conn { return c.conn }
+
+func (c *gobCodec) writeRequest(r *Request) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(r); err != nil {
@@ -137,14 +156,17 @@ func (c *codec) writeRequest(r *Request) error {
 	return nil
 }
 
-func (c *codec) readRequest(r *Request) error {
+func (c *gobCodec) readRequest(r *Request) error {
 	if c.lim != nil {
 		c.lim.reset()
 	}
+	// Gob omits zero-valued fields on the wire, so decoding into a reused
+	// struct would leak the previous frame's values; reset first.
+	*r = Request{}
 	return c.dec.Decode(r)
 }
 
-func (c *codec) writeResponse(r *Response) error {
+func (c *gobCodec) writeResponse(r *Response) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(r); err != nil {
@@ -153,7 +175,8 @@ func (c *codec) writeResponse(r *Response) error {
 	return nil
 }
 
-func (c *codec) readResponse(r *Response) error {
+func (c *gobCodec) readResponse(r *Response) error {
+	*r = Response{}
 	return c.dec.Decode(r)
 }
 

@@ -49,9 +49,15 @@ type ResilientOptions struct {
 	// injects a no-op to keep virtual time exact.
 	Sleep func(time.Duration)
 	// Metrics, when set, receives per-offload counters and latency
-	// observations under serving.offload.* / serving.breaker.* names. Nil
+	// observations under serving.offload.* / serving.breaker.* names, plus
+	// wire frame bytes and encode/decode cost under serving.wire.*. Nil
 	// disables metering (and skips the clock reads it would need).
 	Metrics MetricSink
+	// Wire configures the codec negotiation run on every (re-)dial. The
+	// zero value proposes the binary protocol with bit-exact float64
+	// activations and falls back to gob against servers that decline or
+	// predate the handshake.
+	Wire WireConfig
 }
 
 // DefaultResilientOptions returns the production tuning.
@@ -105,20 +111,27 @@ type ResilientStats struct {
 	RemoteErrors int64
 	// BreakerOpens counts circuit-breaker trips.
 	BreakerOpens int64
+	// Resyncs counts checksum-damaged frames recovered in place: the frame
+	// boundary survived, the stream stayed aligned, and the attempt was
+	// retried on the same connection without tripping the breaker.
+	Resyncs int64
 }
 
 // ResilientClient is the hardened edge side of the offload channel: it
 // redials automatically with exponential backoff and jitter, poisons and
-// replaces its codec after any transport error (a desynchronized gob stream
-// is never reused), bounds retries per request with idempotent request IDs,
-// and trips a circuit breaker that stops hammering a dead cloud. Like
-// Client it serialises requests: one in flight at a time.
+// replaces its codec after any unrecoverable transport error (a
+// desynchronized stream is never reused — the one exception is a checksum
+// resync, where the frame boundary provably survived and the same
+// connection carries the retry), bounds retries per request with idempotent
+// request IDs, and trips a circuit breaker that stops hammering a dead
+// cloud. Like Client it serialises requests: one in flight at a time.
 type ResilientClient struct {
 	opts ResilientOptions
 
 	mu      sync.Mutex
 	dial    func() (net.Conn, error)
-	codec   *codec
+	codec   codec
+	wire    WireConfig
 	broken  bool
 	closed  bool
 	nextID  uint64
@@ -137,6 +150,7 @@ func NewResilientClient(dial func() (net.Conn, error), opts ResilientOptions) (*
 	return &ResilientClient{
 		opts:    opts,
 		dial:    dial,
+		wire:    opts.Wire,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		breaker: NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Now),
 	}, nil
@@ -259,6 +273,15 @@ func (c *ResilientClient) Offload(modelID string, cut int, act *tensor.Tensor) (
 			c.count(metricOffloadRemoteErrors, 1)
 			return nil, err
 		}
+		if errors.Is(err, ErrFrameResync) {
+			// A frame was damaged in flight but the stream stayed aligned:
+			// retryable on the same connection, and not evidence of a dead
+			// cloud — the breaker does not count it.
+			c.stats.Resyncs++
+			c.count(metricOffloadResyncs, 1)
+			lastErr = err
+			continue
+		}
 		tripped := c.breaker.Failure()
 		if tripped {
 			c.stats.BreakerOpens++
@@ -334,6 +357,12 @@ func (c *ResilientClient) OffloadWithin(modelID string, cut int, act *tensor.Ten
 			c.count(metricOffloadRemoteErrors, 1)
 			return nil, err
 		}
+		if errors.Is(err, ErrFrameResync) {
+			c.stats.Resyncs++
+			c.count(metricOffloadResyncs, 1)
+			lastErr = err
+			continue
+		}
 		tripped := c.breaker.Failure()
 		if tripped {
 			c.stats.BreakerOpens++
@@ -357,15 +386,15 @@ func (c *ResilientClient) now() time.Duration {
 }
 
 // attempt performs one round trip under the given per-attempt timeout (zero
-// means no deadline), redialing first if the previous codec was poisoned.
-// Callers hold c.mu.
+// means no deadline), redialing and re-negotiating first if the previous
+// codec was poisoned. Callers hold c.mu.
 func (c *ResilientClient) attempt(req *Request, timeout time.Duration) ([]float64, error) {
-	if err := c.ensure(); err != nil {
+	if err := c.ensure(timeout); err != nil {
 		return nil, err
 	}
 	cd := c.codec
 	if timeout > 0 {
-		if err := cd.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		if err := cd.netConn().SetDeadline(time.Now().Add(timeout)); err != nil {
 			c.poison()
 			return nil, fmt.Errorf("serving: set deadline: %w", err)
 		}
@@ -376,11 +405,19 @@ func (c *ResilientClient) attempt(req *Request, timeout time.Duration) ([]float6
 	}
 	var resp Response
 	if err := cd.readResponse(&resp); err != nil {
+		if errors.Is(err, ErrFrameResync) {
+			// The damaged frame was consumed whole; the stream is aligned
+			// and this same connection can carry the retry.
+			if timeout > 0 {
+				_ = cd.netConn().SetDeadline(time.Time{})
+			}
+			return nil, err
+		}
 		c.poison()
 		return nil, fmt.Errorf("serving: read response: %w", err)
 	}
 	if timeout > 0 {
-		_ = cd.conn.SetDeadline(time.Time{})
+		_ = cd.netConn().SetDeadline(time.Time{})
 	}
 	if resp.ID != 0 && resp.ID != req.ID {
 		c.poison()
@@ -393,24 +430,70 @@ func (c *ResilientClient) attempt(req *Request, timeout time.Duration) ([]float6
 }
 
 // ensure establishes a fresh connection when there is none or the previous
-// one was poisoned. Callers hold c.mu.
-func (c *ResilientClient) ensure() error {
+// one was poisoned, and runs the codec handshake on it under the attempt
+// timeout. A server that answers the binary hello with gob framing
+// downgrades this client to gob for every subsequent dial. Callers hold
+// c.mu.
+func (c *ResilientClient) ensure(timeout time.Duration) error {
 	if c.codec != nil && !c.broken {
 		return nil
 	}
 	if c.codec != nil {
-		_ = c.codec.conn.Close()
+		_ = c.codec.netConn().Close()
 		c.codec = nil
 	}
 	conn, err := c.dial()
 	if err != nil {
 		return fmt.Errorf("serving: redial: %w", err)
 	}
-	c.codec = newCodec(conn)
-	c.broken = false
 	c.stats.Redials++
 	c.count(metricOffloadRedials, 1)
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("serving: set handshake deadline: %w", err)
+		}
+	}
+	cd, err := negotiate(conn, c.wire, DefaultMaxPayloadElems, c.opts.Metrics, c.wireNowNS())
+	if err != nil {
+		_ = conn.Close()
+		if errors.Is(err, errLegacyGobServer) {
+			// Sticky downgrade: stop proposing the binary protocol to a
+			// server that predates it.
+			c.wire.Mode = WireGob
+		}
+		return fmt.Errorf("serving: negotiate: %w", err)
+	}
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Time{})
+	}
+	c.codec = cd
+	c.broken = false
 	return nil
+}
+
+// wireNowNS is the codec metering clock: nil (no clock reads at all) when no
+// sink is attached, the injected clock when one was provided, real time
+// otherwise. Callers hold c.mu.
+func (c *ResilientClient) wireNowNS() func() int64 {
+	if c.opts.Metrics == nil {
+		return nil
+	}
+	if now := c.opts.Now; now != nil {
+		return func() int64 { return int64(now()) }
+	}
+	return func() int64 { return time.Now().UnixNano() }
+}
+
+// WireProtocol reports the codec the current connection negotiated —
+// "binary-v1", "binary-v1+f32" or "gob" — or "" when no connection is live.
+func (c *ResilientClient) WireProtocol() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.codec == nil {
+		return ""
+	}
+	return wireName(c.codec)
 }
 
 // poison marks the current codec unusable and closes its connection; the
@@ -418,7 +501,7 @@ func (c *ResilientClient) ensure() error {
 func (c *ResilientClient) poison() {
 	c.broken = true
 	if c.codec != nil {
-		_ = c.codec.conn.Close()
+		_ = c.codec.netConn().Close()
 	}
 }
 
@@ -453,7 +536,7 @@ func (c *ResilientClient) Close() error {
 	if c.codec == nil {
 		return nil
 	}
-	err := c.codec.conn.Close()
+	err := c.codec.netConn().Close()
 	c.codec = nil
 	return err
 }

@@ -29,6 +29,14 @@ type Server struct {
 	// MaxPayloadElems caps the activation element count per request; zero
 	// means DefaultMaxPayloadElems. Set before Serve.
 	MaxPayloadElems int
+	// Metrics, when set, receives wire frame bytes and decode cost under
+	// serving.server.wire.* names. Set before Serve.
+	Metrics MetricSink
+	// ForceGob skips the codec sniff and speaks legacy gob framing on every
+	// connection, mimicking a server that predates the binary protocol —
+	// the compatibility tests dial such a server to prove new clients
+	// downgrade. Set before Serve.
+	ForceGob bool
 
 	mu     sync.Mutex
 	models map[string]*nn.Net
@@ -149,17 +157,50 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	// Budget the decoder's reads: the element cap in float64 bytes plus
-	// slack for the envelope (IDs, shape, gob framing).
-	c := newLimitedCodec(conn, int64(s.maxElems())*8+4096)
+	// The handshake sniffs the first bytes and picks the codec; its reads
+	// run under the same idle deadline as every later frame, so a client
+	// that connects and goes mute is reaped on schedule.
+	c, err := s.handshake(conn)
+	if err != nil {
+		return
+	}
+	// One Request reused across the loop: requests on a connection are
+	// sequential and the activation is consumed inside complete, so the
+	// binary codec can decode every frame into the same backing arrays.
+	req := new(Request)
 	for {
 		if s.IdleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
 				return
 			}
 		}
-		var req Request
-		if err := c.readRequest(&req); err != nil {
+		if err := c.readRequest(req); err != nil {
+			if s.IdleTimeout > 0 {
+				if derr := conn.SetWriteDeadline(time.Now().Add(s.IdleTimeout)); derr != nil {
+					return
+				}
+			}
+			if errors.Is(err, ErrFrameResync) {
+				// The damaged frame was consumed whole: tell the client the
+				// stream is aligned and keep serving this connection.
+				rs, ok := c.(resyncer)
+				if !ok || rs.writeResync() != nil {
+					return
+				}
+				continue
+			}
+			var malformed *malformedPayloadError
+			if errors.As(err, &malformed) {
+				// Framed and checksummed, but the content is invalid: an
+				// application-level rejection, not a stream poisoning.
+				s.mu.Lock()
+				s.failed++
+				s.mu.Unlock()
+				if c.writeResponse(&Response{Err: "malformed request: " + malformed.reason}) != nil {
+					return
+				}
+				continue
+			}
 			// EOF, closed-connection errors and expired idle deadlines end
 			// the session quietly: there is nobody worth answering.
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || isTimeout(err) {
@@ -168,7 +209,7 @@ func (s *Server) handle(conn net.Conn) {
 			_ = c.writeResponse(&Response{Err: "malformed request: " + err.Error()})
 			return
 		}
-		resp := s.complete(&req)
+		resp := s.complete(req)
 		resp.ID = req.ID
 		s.mu.Lock()
 		if resp.Err == "" {

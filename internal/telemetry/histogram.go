@@ -13,6 +13,13 @@ var DefaultLatencyBuckets = []float64{
 	0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
 }
 
+// DefaultNanosBuckets are nanosecond bucket upper bounds for per-frame costs
+// (wire encode/decode); they span a cached sub-microsecond header-only frame
+// to a multi-millisecond worst case.
+var DefaultNanosBuckets = []float64{
+	250, 500, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 5e6,
+}
+
 // Histogram records a distribution two ways at once: fixed cumulative-style
 // buckets for the exposition, and the exact sample multiset for exact
 // quantiles — the same quantile semantics gateway.Percentile has always had,

@@ -52,4 +52,16 @@ go test -race -count=2 -run 'TestRunTraceBitIdenticalReplay' ./internal/emulator
 echo "== bench smoke (every benchmark must still run)"
 go test -run '^$' -bench . -benchtime 1x ./internal/tensor ./internal/nn ./internal/report
 
+echo "== wire determinism (bit-exact mode must replay identically at any GOMAXPROCS)"
+for procs in 1 4 8; do
+    GOMAXPROCS=$procs go test -count=1 \
+        -run 'TestGatewayEndToEndAcrossHotSwaps|TestRunTraceBitIdenticalReplay' \
+        ./internal/emulator
+done
+
+echo "== wirebench gate (binary codec must hold 3x gob throughput, 10x fewer allocs/frame)"
+wire_json=$(mktemp)
+go run ./cmd/wirebench -benchtime 100ms -out "$wire_json" -min-speedup 3 -min-alloc-ratio 10
+rm -f "$wire_json"
+
 echo "all checks passed"
