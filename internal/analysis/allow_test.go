@@ -1,0 +1,52 @@
+package analysis
+
+import "testing"
+
+// A directive above a multi-line statement must suppress the finding
+// wherever the analyzer anchors it. Here wgbalance anchors the
+// Add-inside-goroutine finding on the wg.Add line — two lines into the go
+// statement — which the old exact-line matching missed: the directive
+// covered only the `go` line and the finding escaped. collectAllows now
+// stretches directives over the full extent of simple statements.
+func TestAllowCoversMultiLineStatement(t *testing.T) {
+	const src = `package wg
+
+import "sync"
+
+func external(start func(done func())) {
+	var wg sync.WaitGroup
+	//cadmc:allow wgbalance -- Add happens inside start before any Wait
+	go func() {
+		wg.Add(1)
+		start(wg.Done)
+	}()
+	wg.Wait()
+}
+`
+	checkAnalyzer(t, WGBalance, "example.com/wg", src, nil)
+}
+
+// Stretching stops at block-structured statements: a directive above an
+// `if` annotates the header line only, so a finding anchored inside its
+// body still fires. Suppressions stay line-scoped where lines exist.
+func TestAllowDoesNotBlanketBlocks(t *testing.T) {
+	const src = `package wg
+
+import "sync"
+
+func bad(on bool, ch chan int) {
+	var wg sync.WaitGroup
+	//cadmc:allow wgbalance -- anchored to the if header, not its body
+	if on {
+		go func() {
+			defer wg.Done()
+			ch <- 1
+		}()
+	}
+	wg.Wait()
+}
+`
+	checkAnalyzer(t, WGBalance, "example.com/wg", src, []want{
+		{line: 9, message: "no wg.Add is guaranteed on every path before the spawn"},
+	})
+}

@@ -28,6 +28,9 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
+
+	"cadmc/internal/analysis/cfg"
 )
 
 // Diagnostic is one finding at one source position.
@@ -73,6 +76,38 @@ type Pass struct {
 
 	allows map[allowKey]bool
 	diags  *[]Diagnostic
+	// pkg points back to the loaded package for the per-package CFG cache.
+	pkg *Package
+	// now, when set, times CFG construction (cadmc-vet -timings).
+	now func() time.Time
+}
+
+// CFG returns the control-flow graph of the given function body, built on
+// first request and cached per package. All flow-sensitive analyzers of one
+// package share the cache; the export phase runs serially and the
+// diagnostic phase handles each package inside a single worker, so the
+// cache needs no lock. When a timing clock is injected (cadmc-vet
+// -timings), build time accumulates on the package.
+func (p *Pass) CFG(name string, body *ast.BlockStmt) *cfg.Graph {
+	if p.pkg == nil {
+		return cfg.Build(name, body, p.Info)
+	}
+	if g, ok := p.pkg.cfgs[body]; ok {
+		return g
+	}
+	var start time.Time
+	if p.now != nil {
+		start = p.now()
+	}
+	g := cfg.Build(name, body, p.Info)
+	if p.now != nil {
+		p.pkg.cfgBuildNS += p.now().Sub(start).Nanoseconds()
+	}
+	if p.pkg.cfgs == nil {
+		p.pkg.cfgs = make(map[*ast.BlockStmt]*cfg.Graph)
+	}
+	p.pkg.cfgs[body] = g
+	return g
 }
 
 // allowKey identifies one suppressed (file line, analyzer) site.
@@ -138,7 +173,62 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 			}
 		}
 	}
+	expandAllows(fset, files, allows)
 	return allows
+}
+
+// expandAllows stretches directives over multi-line statements: a directive
+// on (or directly above) the first line of a statement whose arguments spill
+// onto further lines must suppress a finding wherever the analyzer anchors
+// it — a gofmt rewrap must not re-arm a suppressed finding. Only simple
+// statements are stretched; block-structured ones (if/for/switch/select and
+// friends) keep per-line granularity, so a directive above an `if` does not
+// blanket its whole body.
+func expandAllows(fset *token.FileSet, files []*ast.File, allows map[allowKey]bool) {
+	if len(allows) == 0 {
+		return
+	}
+	directives := make([]allowKey, 0, len(allows))
+	for k := range allows {
+		directives = append(directives, k)
+	}
+	sort.Slice(directives, func(i, j int) bool {
+		a, b := directives[i], directives[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if _, ok := n.(ast.Stmt); !ok {
+				return true
+			}
+			switch n.(type) {
+			case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+				*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+				*ast.LabeledStmt, *ast.CaseClause, *ast.CommClause:
+				return true
+			}
+			start := fset.Position(n.Pos())
+			end := fset.Position(n.End())
+			if end.Line <= start.Line {
+				return true
+			}
+			for _, k := range directives {
+				if k.file != start.Filename || k.line != start.Line && k.line != start.Line-1 {
+					continue
+				}
+				for line := start.Line + 1; line <= end.Line; line++ {
+					allows[allowKey{k.file, line, k.analyzer}] = true
+				}
+			}
+			return true
+		})
+	}
 }
 
 // All returns the full analyzer suite in a stable order.
@@ -153,6 +243,9 @@ func All() []*Analyzer {
 		ArenaPair,
 		Deadline,
 		WallTime,
+		LockBalance,
+		WGBalance,
+		ChanLeak,
 	}
 }
 
@@ -186,10 +279,11 @@ func ByName(names string) ([]*Analyzer, error) {
 
 // exportFacts runs every fact-exporting analyzer in suite over pkg,
 // populating facts. Export passes get a discarded diagnostics sink: facts
-// passes describe code, they never report it.
-func exportFacts(pkg *Package, suite []*Analyzer, facts *FactSet) error {
+// passes describe code, they never report it. When now is non-nil, each
+// analyzer's export time accumulates into exportNS by suite index.
+func exportFacts(pkg *Package, suite []*Analyzer, facts *FactSet, now func() time.Time, exportNS []int64) error {
 	var discard []Diagnostic
-	for _, a := range suite {
+	for i, a := range suite {
 		if a.Export == nil {
 			continue
 		}
@@ -202,20 +296,34 @@ func exportFacts(pkg *Package, suite []*Analyzer, facts *FactSet) error {
 			Path:     pkg.Path,
 			Facts:    facts,
 			diags:    &discard,
+			pkg:      pkg,
+			now:      now,
+		}
+		var start time.Time
+		if now != nil {
+			start = now()
 		}
 		if err := a.Export(pass); err != nil {
 			return fmt.Errorf("analysis: %s facts on %s: %w", a.Name, pkg.Path, err)
+		}
+		if now != nil {
+			exportNS[i] += now().Sub(start).Nanoseconds()
 		}
 	}
 	return nil
 }
 
 // diagnose applies every analyzer's Run pass to one package against an
-// already-populated (read-only) fact set.
-func diagnose(pkg *Package, suite []*Analyzer, facts *FactSet) ([]Diagnostic, error) {
+// already-populated (read-only) fact set. When now is non-nil, the returned
+// slice holds each analyzer's run time by suite index.
+func diagnose(pkg *Package, suite []*Analyzer, facts *FactSet, now func() time.Time) ([]Diagnostic, []int64, error) {
 	var diags []Diagnostic
+	var runNS []int64
+	if now != nil {
+		runNS = make([]int64, len(suite))
+	}
 	allows := collectAllows(pkg.Fset, pkg.Files)
-	for _, a := range suite {
+	for i, a := range suite {
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -226,13 +334,22 @@ func diagnose(pkg *Package, suite []*Analyzer, facts *FactSet) ([]Diagnostic, er
 			Facts:    facts,
 			allows:   allows,
 			diags:    &diags,
+			pkg:      pkg,
+			now:      now,
+		}
+		var start time.Time
+		if now != nil {
+			start = now()
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		if now != nil {
+			runNS[i] = now().Sub(start).Nanoseconds()
 		}
 	}
 	sortDiags(diags)
-	return diags, nil
+	return diags, runNS, nil
 }
 
 func sortDiags(diags []Diagnostic) {
@@ -256,8 +373,9 @@ func sortDiags(diags []Diagnostic) {
 // use RunAll for cross-package fact flow.
 func Run(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
 	facts := NewFactSet()
-	if err := exportFacts(pkg, suite, facts); err != nil {
+	if err := exportFacts(pkg, suite, facts, nil, nil); err != nil {
 		return nil, err
 	}
-	return diagnose(pkg, suite, facts)
+	diags, _, err := diagnose(pkg, suite, facts, nil)
+	return diags, err
 }

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"cadmc/internal/analysis/cfg"
 )
 
 // ArenaPair checks the scratch-arena ownership contract: a buffer acquired
@@ -15,10 +17,14 @@ import (
 //
 //   - an acquired buffer with no release and no ownership transfer (return,
 //     store into a struct/map/global, composite literal) leaks its bucket;
-//   - a return or panic between the acquire and an inline (non-deferred)
-//     release skips the release on that path — prefer defer;
-//   - any use after an inline release, or returning a defer-released buffer,
-//     escapes the buffer past its Put.
+//   - with inline (non-deferred) releases, the CFG decides per path: a
+//     return or panic reached with the buffer still held skips the release
+//     on that path — including a return placed after the release in source
+//     order but on a branch that bypasses it — as does falling off the end
+//     of the function; prefer defer;
+//   - any use on a path where the buffer may already be released, a second
+//     release, or returning a defer-released buffer escapes the buffer
+//     past its Put.
 var ArenaPair = &Analyzer{
 	Name: "arenapair",
 	Doc:  "GetF64/Scratch must pair with PutF64/Release on all return paths, with no use after release",
@@ -40,18 +46,8 @@ var (
 )
 
 func runArenaPair(pass *Pass) error {
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				if fn.Body != nil {
-					checkArenaFunc(pass, fn.Body)
-				}
-			case *ast.FuncLit:
-				checkArenaFunc(pass, fn.Body)
-			}
-			return true
-		})
+	for _, fn := range flowFuncs(pass) {
+		checkArenaFunc(pass, fn)
 	}
 	return nil
 }
@@ -89,21 +85,22 @@ func pathHasSuffix(path, suffix string) bool {
 // arenaBuffer tracks one acquired buffer inside one function.
 type arenaBuffer struct {
 	obj     types.Object
+	assign  *ast.AssignStmt // the acquiring statement, the CFG anchor
 	acquire token.Pos
 	via     string // GetF64 or Scratch
 }
 
 // checkArenaFunc runs the pairing check over one function body. Nested
 // function literals are scanned as part of the body — a use inside a closure
-// is still a use — but their own acquires are checked when the Inspect in
-// runArenaPair reaches them.
-func checkArenaFunc(pass *Pass, body *ast.BlockStmt) {
-	acquires := arenaAcquires(pass, body)
+// is still a use — but their own acquires are checked when flowFuncs reaches
+// them.
+func checkArenaFunc(pass *Pass, fn flowFunc) {
+	acquires := arenaAcquires(pass, fn.Body)
 	if len(acquires) == 0 {
 		return
 	}
 	for _, buf := range acquires {
-		checkArenaBuffer(pass, body, buf)
+		checkArenaBuffer(pass, fn, buf)
 	}
 }
 
@@ -134,7 +131,7 @@ func arenaAcquires(pass *Pass, body *ast.BlockStmt) []arenaBuffer {
 			obj = pass.Info.Uses[ident]
 		}
 		if obj != nil {
-			out = append(out, arenaBuffer{obj: obj, acquire: assign.Pos(), via: via})
+			out = append(out, arenaBuffer{obj: obj, assign: assign, acquire: assign.Pos(), via: via})
 		}
 	})
 	return out
@@ -156,14 +153,15 @@ func inspectSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
 
 // arenaRelease is one PutF64/Release call for a tracked buffer.
 type arenaRelease struct {
+	call     *ast.CallExpr
 	pos      token.Pos
 	deferred bool
 }
 
-func checkArenaBuffer(pass *Pass, body *ast.BlockStmt, buf arenaBuffer) {
-	releases := arenaReleases(pass, body, buf)
+func checkArenaBuffer(pass *Pass, fn flowFunc, buf arenaBuffer) {
+	releases := arenaReleases(pass, fn.Body, buf)
 	if len(releases) == 0 {
-		if pos, escapes := arenaEscape(pass, body, buf, 0); !escapes {
+		if pos, escapes := arenaEscape(pass, fn.Body, buf, 0); !escapes {
 			pass.Reportf(buf.acquire,
 				"%s buffer %s is never released (PutF64/Release) in this function and does not transfer ownership",
 				buf.via, buf.obj.Name())
@@ -172,47 +170,160 @@ func checkArenaBuffer(pass *Pass, body *ast.BlockStmt, buf arenaBuffer) {
 		}
 		return
 	}
-	first := releases[0]
-	if first.deferred {
+	if releases[0].deferred {
 		// Defer covers every return/panic path; only escape-by-return of the
 		// released buffer remains to check.
-		if pos, escapes := arenaEscape(pass, body, buf, buf.acquire); escapes {
+		if pos, escapes := arenaEscape(pass, fn.Body, buf, buf.acquire); escapes {
 			pass.Reportf(pos, "arena buffer %s escapes this function but is released by defer; the caller would use freed storage",
 				buf.obj.Name())
 		}
 		return
 	}
-	// Inline release: any return or panic between acquire and release skips
-	// the release on that path.
-	inspectSkippingFuncLits(body, func(n ast.Node) {
-		switch node := n.(type) {
-		case *ast.ReturnStmt:
-			if node.Pos() > buf.acquire && node.Pos() < first.pos {
-				pass.Reportf(node.Pos(), "return path skips the release of arena buffer %s (acquired at line %d); use defer %s",
-					buf.obj.Name(), pass.Fset.Position(buf.acquire).Line, releaseName(buf.via))
-			}
-		case *ast.CallExpr:
-			if ident, ok := node.Fun.(*ast.Ident); ok && ident.Name == "panic" {
-				if _, builtin := pass.Info.Uses[ident].(*types.Builtin); builtin &&
-					node.Pos() > buf.acquire && node.Pos() < first.pos {
-					pass.Reportf(node.Pos(), "panic path skips the release of arena buffer %s; use defer %s",
-						buf.obj.Name(), releaseName(buf.via))
+	arenaFlow(pass, fn, buf, releases)
+}
+
+// arenaState is the per-buffer lattice value along one CFG path set.
+type arenaState struct {
+	reached bool
+	held    bool // acquired and not yet released on some path to here
+	rel     bool // released on some path to here
+	relLine int  // line of the earliest such release (for messages)
+}
+
+// arenaFlow handles the inline-release case on the CFG: a return or panic
+// reached while the buffer may still be held skips the release on that path
+// (wherever the release sits in source order), falling off the end of the
+// function with the buffer held leaks it, a use while the buffer may be
+// released is a stale reference, and a second release hands the same backing
+// array to two bucket entries.
+func arenaFlow(pass *Pass, fn flowFunc, buf arenaBuffer, releases []arenaRelease) {
+	g := pass.CFG(fn.Name, fn.Body)
+	relNodes := make(map[*ast.CallExpr]bool, len(releases))
+	deferCovers := false
+	for _, r := range releases {
+		relNodes[r.call] = true
+		if r.deferred {
+			deferCovers = true
+		}
+	}
+	acquireLine := pass.Fset.Position(buf.acquire).Line
+
+	// apply replays one block over a state; with report set it also emits
+	// diagnostics against the state in force at each node. One function
+	// drives both the fixpoint and the reporting pass.
+	apply := func(blk *cfg.Block, s arenaState, report bool) arenaState {
+		inEpilogue := blk == g.Epilogue()
+		for _, node := range blk.Nodes {
+			cfg.WalkNode(node, inEpilogue, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					if m == buf.assign {
+						// A fresh buffer: the acquire kills any prior state
+						// (loop reuse) and does not descend into its own LHS.
+						s = arenaState{reached: true, held: true}
+						return false
+					}
+				case *ast.ReturnStmt:
+					if report && s.held && !deferCovers {
+						pass.Reportf(m.Pos(), "return path skips the release of arena buffer %s (acquired at line %d); use defer %s",
+							buf.obj.Name(), acquireLine, releaseName(buf.via))
+					}
+				case *ast.CallExpr:
+					if relNodes[m] {
+						if report && s.rel {
+							pass.Reportf(m.Pos(), "arena buffer %s is released again here (already released at line %d); the arena would hand the same storage to two callers",
+								buf.obj.Name(), s.relLine)
+						}
+						if !s.rel {
+							s.relLine = pass.Fset.Position(m.Pos()).Line
+						}
+						s.held, s.rel = false, true
+						return false // the release argument is not a use
+					}
+					if isPanicCall(pass, m) && report && s.held && !deferCovers {
+						pass.Reportf(m.Pos(), "panic path skips the release of arena buffer %s; use defer %s",
+							buf.obj.Name(), releaseName(buf.via))
+					}
+				case *ast.Ident:
+					if report && s.rel && resolveIdent(pass, m) == buf.obj {
+						pass.Reportf(m.Pos(), "arena buffer %s used after its release at line %d",
+							buf.obj.Name(), s.relLine)
+					}
 				}
+				return true
+			})
+		}
+		return s
+	}
+
+	prob := cfg.Problem[arenaState]{
+		Dir:      cfg.Forward,
+		Boundary: func() arenaState { return arenaState{reached: true} },
+		Init:     func() arenaState { return arenaState{} },
+		Transfer: func(b *cfg.Block, s arenaState) arenaState {
+			if !s.reached {
+				return s
 			}
+			return apply(b, s, false)
+		},
+		Merge: func(a, b arenaState) arenaState {
+			if !a.reached {
+				return b
+			}
+			if !b.reached {
+				return a
+			}
+			m := arenaState{
+				reached: true,
+				held:    a.held || b.held,
+				rel:     a.rel || b.rel,
+				relLine: a.relLine,
+			}
+			if m.relLine == 0 || b.relLine != 0 && b.relLine < m.relLine {
+				m.relLine = b.relLine
+			}
+			return m
+		},
+		Equal: func(a, b arenaState) bool { return a == b },
+	}
+	in := cfg.Solve(g, prob)
+
+	for _, blk := range g.Blocks {
+		if !in[blk.Index].reached {
+			continue
 		}
-	})
-	// Use after the (last) inline release escapes the buffer past its Put.
-	last := releases[len(releases)-1]
-	inspectSkippingFuncLits(body, func(n ast.Node) {
-		ident, ok := n.(*ast.Ident)
-		if !ok || ident.Pos() <= last.pos {
-			return
+		out := apply(blk, in[blk.Index], true)
+		if out.held && !deferCovers && arenaFallsOff(pass, g, blk) {
+			pass.Reportf(buf.acquire, "arena buffer %s is released on some paths but still held when %s falls off the end of the function; use defer %s",
+				buf.obj.Name(), fn.Name, releaseName(buf.via))
 		}
-		if resolveIdent(pass, ident) == buf.obj {
-			pass.Reportf(ident.Pos(), "arena buffer %s used after its release at line %d",
-				buf.obj.Name(), pass.Fset.Position(last.pos).Line)
+	}
+}
+
+// arenaFallsOff reports whether blk reaches the defers epilogue by falling
+// off the end of the body rather than via an explicit return or panic.
+func arenaFallsOff(pass *Pass, g *cfg.Graph, blk *cfg.Block) bool {
+	if blk == g.Epilogue() {
+		return false
+	}
+	toEpilogue := false
+	for _, s := range blk.Succs {
+		if s == g.Epilogue() {
+			toEpilogue = true
 		}
-	})
+	}
+	if !toEpilogue {
+		return false
+	}
+	for _, n := range blk.Nodes {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			return false
+		}
+		if es, ok := n.(*ast.ExprStmt); ok && isPanicCall(pass, es.X) {
+			return false
+		}
+	}
+	return true
 }
 
 func releaseName(via string) string {
@@ -253,7 +364,7 @@ func arenaReleases(pass *Pass, body *ast.BlockStmt, buf arenaBuffer) []arenaRele
 		if baseIdentObj(pass, call.Args[0]) != buf.obj {
 			return
 		}
-		out = append(out, arenaRelease{pos: call.End(), deferred: deferred[call.Pos()]})
+		out = append(out, arenaRelease{call: call, pos: call.End(), deferred: deferred[call.Pos()]})
 	})
 	return out
 }

@@ -159,3 +159,81 @@ func pinned(n int) {
 `
 	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, nil)
 }
+
+// The CFG engine decides per path: a release on one branch does not cover a
+// return on the other, even when that return sits after the release in
+// source order — the old linear scan (report returns strictly before the
+// first release position) was blind to exactly this shape.
+func TestArenaPairBranchSkipsRelease(t *testing.T) {
+	const src = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+
+func branchy(xs []float64, lim float64) float64 {
+	buf := GetF64(len(xs))
+	s := 0.0
+	for i, x := range xs {
+		buf[i] = x
+		s += x
+	}
+	if s > lim {
+		PutF64(buf)
+		return s
+	}
+	return -s
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, []want{
+		{line: 17, message: "return path skips the release of arena buffer buf (acquired at line 7)"},
+	})
+}
+
+// Falling off the end of a void function with the buffer released only on
+// one branch leaks its bucket on the other — there is no return statement
+// for the old scan to anchor on at all.
+func TestArenaPairFallsOffEndHeld(t *testing.T) {
+	const src = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+
+func sink(xs []float64, flush bool) {
+	buf := GetF64(len(xs))
+	for i, x := range xs {
+		buf[i] = x
+	}
+	if flush {
+		PutF64(buf)
+	}
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, []want{
+		{line: 7, message: "still held when sink falls off the end of the function"},
+	})
+}
+
+// A use on the path where the buffer was already handed back is stale even
+// though another path still holds it; a second release on a reconverging
+// path double-frees the storage.
+func TestArenaPairMayReleasedUse(t *testing.T) {
+	const src = `package parallel
+
+func GetF64(n int) []float64 { return make([]float64, n) }
+func PutF64(b []float64)     {}
+
+func stale(n int, early bool) float64 {
+	buf := GetF64(n)
+	if early {
+		PutF64(buf)
+	}
+	v := buf[0]
+	PutF64(buf)
+	return v
+}
+`
+	checkAnalyzer(t, ArenaPair, "cadmc/fx/internal/parallel", src, []want{
+		{line: 11, message: "arena buffer buf used after its release at line 9"},
+		{line: 12, message: "arena buffer buf is released again here (already released at line 9)"},
+	})
+}

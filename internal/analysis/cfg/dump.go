@@ -1,0 +1,106 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Dump renders the graph as stable text for golden tests and debugging:
+// one block per paragraph with its index, kind, liveness, node summaries
+// and successor list. The output depends only on the AST, never on map
+// order or pointers, so goldens stay byte-identical across runs.
+func Dump(g *Graph, fset *token.FileSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cfg %s\n", g.Name)
+	for _, blk := range g.Blocks {
+		live := ""
+		if !blk.Live {
+			live = " dead"
+		}
+		fmt.Fprintf(&b, "b%d %s%s\n", blk.Index, blk.Kind, live)
+		for _, n := range blk.Nodes {
+			line := 0
+			if fset != nil {
+				line = fset.Position(n.Pos()).Line
+			}
+			fmt.Fprintf(&b, "\tL%d %s\n", line, nodeSummary(n))
+		}
+		if len(blk.Succs) > 0 {
+			succs := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				succs[i] = fmt.Sprintf("b%d", s.Index)
+			}
+			fmt.Fprintf(&b, "\t-> %s\n", strings.Join(succs, " "))
+		}
+	}
+	return b.String()
+}
+
+// nodeSummary is a one-line spelling of a block node, shortened to keep
+// dumps readable.
+func nodeSummary(n ast.Node) string {
+	const max = 40
+	var s string
+	switch v := n.(type) {
+	case ast.Expr:
+		s = exprString(v)
+	case *ast.ReturnStmt:
+		s = "return"
+		if len(v.Results) > 0 {
+			parts := make([]string, len(v.Results))
+			for i, r := range v.Results {
+				parts[i] = types.ExprString(r)
+			}
+			s += " " + strings.Join(parts, ", ")
+		}
+	case *ast.BranchStmt:
+		s = v.Tok.String()
+		if v.Label != nil {
+			s += " " + v.Label.Name
+		}
+	case *ast.DeferStmt:
+		s = "defer " + types.ExprString(v.Call)
+	case *ast.GoStmt:
+		s = "go " + types.ExprString(v.Call)
+	case *ast.RangeStmt:
+		s = "range " + types.ExprString(v.X)
+	case *ast.SendStmt:
+		s = types.ExprString(v.Chan) + " <- " + types.ExprString(v.Value)
+	case *ast.AssignStmt:
+		lhs := make([]string, len(v.Lhs))
+		for i, e := range v.Lhs {
+			lhs[i] = types.ExprString(e)
+		}
+		rhs := make([]string, len(v.Rhs))
+		for i, e := range v.Rhs {
+			rhs[i] = types.ExprString(e)
+		}
+		s = strings.Join(lhs, ", ") + " " + v.Tok.String() + " " + strings.Join(rhs, ", ")
+	case *ast.ExprStmt:
+		s = exprString(v.X)
+	case *ast.IncDecStmt:
+		s = types.ExprString(v.X) + v.Tok.String()
+	case *ast.DeclStmt:
+		s = "var decl"
+	case *ast.EmptyStmt:
+		s = ";"
+	default:
+		s = fmt.Sprintf("%T", n)
+	}
+	if len(s) > max {
+		s = s[:max-3] + "..."
+	}
+	return s
+}
+
+// exprString is types.ExprString with the one form it cannot spell: the
+// x.(type) assert of a type-switch guard (its Type field is nil).
+func exprString(e ast.Expr) string {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok && ta.Type == nil {
+		return types.ExprString(ta.X) + ".(type)"
+	}
+	return types.ExprString(e)
+}

@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"cadmc/internal/analysis/cfg"
+)
+
+// ChanLeak finds goroutines parked forever on an unbuffered channel that
+// never leaves the spawning function: a `go` literal sending on a local
+// channel the function never receives from (or receiving from one it never
+// sends on or closes) can never be scheduled past the operation, and the
+// goroutine — plus everything it captures — leaks. When the complementary
+// operation exists, the CFG decides whether some path still returns
+// without it. The analysis is deliberately conservative: a channel that
+// escapes (returned, stored, passed to a call, captured by a non-go
+// closure), is buffered, is shared by several goroutines, or is used by
+// the goroutine only under select is left alone.
+var ChanLeak = &Analyzer{
+	Name: "chanleak",
+	Doc:  "goroutines must not block forever on a non-escaping channel",
+	Run:  runChanLeak,
+}
+
+type chanOpKind int
+
+const (
+	chanOpSend chanOpKind = iota
+	chanOpRecv            // <-ch or range ch
+	chanOpClose
+)
+
+// chanGoUse aggregates one goroutine literal's operations on one channel.
+type chanGoUse struct {
+	spawn      *ast.GoStmt
+	send, recv bool
+	// nonSelect is true when at least one operation sits outside a select
+	// statement; an all-select goroutine may legitimately take other arms.
+	nonSelect bool
+}
+
+// chanInfo is one local unbuffered channel candidate.
+type chanInfo struct {
+	obj  types.Object
+	name string
+	pos  token.Pos
+
+	bail bool // escaped, rebound, or a pattern out of scope
+
+	syncRecv  bool // sequential <-ch / range ch exists
+	syncSend  bool
+	syncClose bool
+	// drains maps the sequential operation nodes usable as the
+	// complementary op, for the CFG must-drain pass.
+	drains map[ast.Node]chanOpKind
+
+	goUses []*chanGoUse
+}
+
+func (ci *chanInfo) goUse(gs *ast.GoStmt) *chanGoUse {
+	for _, u := range ci.goUses {
+		if u.spawn == gs {
+			return u
+		}
+	}
+	u := &chanGoUse{spawn: gs}
+	ci.goUses = append(ci.goUses, u)
+	return u
+}
+
+func runChanLeak(pass *Pass) error {
+	for _, fn := range flowFuncs(pass) {
+		chanLeakFunc(pass, fn)
+	}
+	return nil
+}
+
+// chanLocals collects `ch := make(chan T)` (and var-form) declarations of
+// unbuffered channels local to body, in source order.
+func chanLocals(pass *Pass, body *ast.BlockStmt) []*chanInfo {
+	var out []*chanInfo
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "make" {
+			return
+		}
+		if _, builtin := pass.Info.Uses[fun].(*types.Builtin); !builtin {
+			return
+		}
+		if _, isChan := pass.Info.Types[call].Type.(*types.Chan); !isChan {
+			return
+		}
+		if len(call.Args) > 1 {
+			tv, ok := pass.Info.Types[call.Args[1]]
+			if !ok || tv.Value == nil {
+				return
+			}
+			if tv.Value.Kind() != constant.Int {
+				return
+			}
+			if n, exact := constant.Int64Val(tv.Value); !exact || n != 0 {
+				return // buffered: a send may complete without a receiver
+			}
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		out = append(out, &chanInfo{
+			obj:    obj,
+			name:   id.Name,
+			pos:    id.Pos(),
+			drains: make(map[ast.Node]chanOpKind),
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // literal-local channels belong to the literal's own flowFunc
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE && len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					record(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					record(s.Names[i], s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func chanLeakFunc(pass *Pass, fn flowFunc) {
+	chans := chanLocals(pass, fn.Body)
+	if len(chans) == 0 {
+		return
+	}
+	byObj := make(map[types.Object]*chanInfo, len(chans))
+	for _, ci := range chans {
+		byObj[ci.obj] = ci
+	}
+
+	// Classify every use of every candidate with an ancestor stack: the
+	// parent chain decides the operation, the enclosing literals decide
+	// which goroutine (if any) performs it, and anything unclassifiable is
+	// an escape that disqualifies the channel.
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		ci := byObj[pass.Info.Uses[id]]
+		if ci == nil || ci.bail {
+			return true
+		}
+		classifyChanUse(pass, ci, stack)
+		return true
+	})
+
+	g := pass.CFG(fn.Name, fn.Body)
+	for _, ci := range chans {
+		if ci.bail || len(ci.goUses) != 1 {
+			// No goroutine party, or several goroutines coordinating over
+			// the same channel — out of scope.
+			continue
+		}
+		u := ci.goUses[0]
+		if u.send == u.recv || !u.nonSelect {
+			// Both directions (self-coordinating) or select-only use.
+			continue
+		}
+		var verb, complement string
+		var present bool
+		if u.send {
+			verb, complement = "sends on", "receiving from"
+			present = ci.syncRecv
+		} else {
+			verb, complement = "receives from", "sending on or closing"
+			present = ci.syncSend || ci.syncClose
+		}
+		if !present {
+			pass.Reportf(u.spawn.Pos(), "goroutine blocks forever: it %s %s, an unbuffered channel this function never finishes %s and that never escapes", verb, ci.name, complement)
+			continue
+		}
+		if chanLeakSomePath(g, ci, u) {
+			pass.Reportf(u.spawn.Pos(), "goroutine may leak: it %s %s, but some path through %s returns without %s it", verb, ci.name, fn.Name, complement)
+		}
+	}
+}
+
+// classifyChanUse inspects the ancestor stack of one identifier use of a
+// candidate channel (the identifier is the top of the stack).
+func classifyChanUse(pass *Pass, ci *chanInfo, stack []ast.Node) {
+	id := stack[len(stack)-1]
+	var op chanOpKind
+	var opNode ast.Node
+	if len(stack) >= 2 {
+		switch p := stack[len(stack)-2].(type) {
+		case *ast.SendStmt:
+			if p.Chan == id {
+				op, opNode = chanOpSend, p
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.ARROW && p.X == id {
+				op, opNode = chanOpRecv, p
+			}
+		case *ast.RangeStmt:
+			if p.X == id {
+				op, opNode = chanOpRecv, p
+			}
+		case *ast.CallExpr:
+			if fun, ok := p.Fun.(*ast.Ident); ok {
+				if _, builtin := pass.Info.Uses[fun].(*types.Builtin); builtin {
+					switch fun.Name {
+					case "close":
+						op, opNode = chanOpClose, p
+					case "len", "cap":
+						return // neutral
+					}
+				}
+			}
+		}
+	}
+	if opNode == nil {
+		ci.bail = true // stored, passed, returned, compared, rebound, ...
+		return
+	}
+
+	// Walk outward: every enclosing function literal must be the spawned
+	// body of a go statement — or a deferred call, which the CFG replays in
+	// the epilogue — otherwise the channel is captured by a closure with
+	// unknowable lifetime.
+	opIdx := -1
+	var inGo *ast.GoStmt
+	for i := len(stack) - 2; i >= 0; i-- {
+		if stack[i] == opNode {
+			opIdx = i
+		}
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		spawned := false
+		if i >= 2 {
+			if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == lit {
+				switch outer := stack[i-2].(type) {
+				case *ast.GoStmt:
+					if outer.Call == call {
+						spawned = true
+						if inGo == nil {
+							inGo = outer
+						}
+					}
+				case *ast.DeferStmt:
+					// Runs in the epilogue on the way out: sequential.
+					spawned = outer.Call == call
+				}
+			}
+		}
+		if !spawned {
+			ci.bail = true
+			return
+		}
+	}
+
+	underSelect := false
+	prev := ast.Node(nil)
+	for i := opIdx; i >= 0; i-- {
+		if cc, ok := stack[i].(*ast.CommClause); ok {
+			underSelect = prev != nil && cc.Comm == prev
+			break
+		}
+		prev = stack[i]
+	}
+
+	if inGo == nil {
+		switch op {
+		case chanOpSend:
+			ci.syncSend = true
+		case chanOpRecv:
+			ci.syncRecv = true
+		case chanOpClose:
+			ci.syncClose = true
+		}
+		ci.drains[opNode] = op
+		return
+	}
+	u := ci.goUse(inGo)
+	switch op {
+	case chanOpSend:
+		u.send = true
+	case chanOpRecv:
+		u.recv = true
+	case chanOpClose:
+		// A goroutine closing the channel: coordination we do not model.
+		ci.bail = true
+		return
+	}
+	if !underSelect {
+		u.nonSelect = true
+	}
+}
+
+// chanLeakSomePath runs the must-drain dataflow: state 1 means "no spawned
+// goroutine is waiting" (not yet spawned, or the complementary op was
+// reached since), state 2 means a spawned goroutine may still be parked.
+// Any path reaching the exit in state 2 leaks.
+func chanLeakSomePath(g *cfg.Graph, ci *chanInfo, u *chanGoUse) bool {
+	drainKind := chanOpRecv
+	closeDrains := false
+	if u.recv {
+		drainKind = chanOpSend
+		closeDrains = true
+	}
+	prob := cfg.Problem[int]{
+		Dir:      cfg.Forward,
+		Boundary: func() int { return 1 },
+		Init:     func() int { return 0 },
+		Transfer: func(b *cfg.Block, s int) int {
+			if s == 0 {
+				return 0
+			}
+			for _, node := range b.Nodes {
+				cfg.WalkNode(node, b == g.Epilogue(), func(m ast.Node) bool {
+					if gs, ok := m.(*ast.GoStmt); ok {
+						if gs == u.spawn {
+							s = 2
+						}
+						return false
+					}
+					if k, ok := ci.drains[m]; ok {
+						if k == drainKind || (closeDrains && k == chanOpClose) {
+							if s == 2 {
+								s = 1
+							}
+						}
+					}
+					return true
+				})
+			}
+			return s
+		},
+		Merge: func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Equal: func(a, b int) bool { return a == b },
+	}
+	in := cfg.Solve(g, prob)
+	return in[g.Exit().Index] == 2
+}

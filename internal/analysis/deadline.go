@@ -6,6 +6,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"cadmc/internal/analysis/cfg"
 )
 
 // deadlineTargetPkgs are the packages whose goroutines sit on real sockets
@@ -97,40 +99,86 @@ func isContextType(t types.Type) bool {
 	return isNamedFrom(t, "context", "Context")
 }
 
-// firstUnguardedBlock scans fn's body in source order and returns the first
-// blocking event not preceded by any guard event. This is the linear
-// approximation of dominance: one guard anywhere before the first blocking
-// call covers the function, matching how the serving and gateway code is
-// actually written (arm the deadline at the top, then run the exchange).
-func firstUnguardedBlock(pass *Pass, body *ast.BlockStmt) (token.Pos, string, bool) {
-	minGuard := token.Pos(0)
-	var blockPos token.Pos
-	var blockDesc string
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if isDeadlineGuard(pass, call) {
-			if minGuard == 0 || call.Pos() < minGuard {
-				minGuard = call.Pos()
+// firstUnguardedBlock runs a must-guard forward analysis over the CFG and
+// returns the earliest blocking call some path reaches without passing a
+// guard first. State 2 means every path to this point crossed a guard, 1
+// means some path did not, 0 is unreached; the merge takes the minimum, so a
+// guard armed on only one branch does not cover the join — the blind spot of
+// the earlier source-order scan, which accepted any guard textually before
+// the first blocking call. Within one CFG node the scan is a flat source
+// -order walk that descends into function literals, preserving the old
+// treatment of closures and deferred calls (a guard or a blocking call
+// inside them counts where it is written).
+func firstUnguardedBlock(pass *Pass, name string, body *ast.BlockStmt) (token.Pos, string, bool) {
+	g := pass.CFG(name, body)
+	scan := func(s int, node ast.Node, report func(pos token.Pos, desc string)) int {
+		ast.Inspect(node, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isDeadlineGuard(pass, call) {
+				s = 2
+				return true
+			}
+			if report != nil && s == 1 {
+				if desc, blocking := isBlockingCall(pass, call); blocking {
+					report(call.Pos(), desc)
+				}
 			}
 			return true
-		}
-		if desc, blocking := isBlockingCall(pass, call); blocking {
-			if blockPos == 0 || call.Pos() < blockPos {
-				blockPos, blockDesc = call.Pos(), desc
+		})
+		return s
+	}
+	// The defers epilogue replays conditionally-registered defers as if they
+	// always ran, which would charge a deferred blocking call to paths that
+	// never registered it; the registration-point walk above already judges
+	// deferred calls, so the epilogue is skipped outright.
+	prob := cfg.Problem[int]{
+		Dir:      cfg.Forward,
+		Boundary: func() int { return 1 },
+		Init:     func() int { return 0 },
+		Transfer: func(b *cfg.Block, s int) int {
+			if s == 0 || b == g.Epilogue() {
+				return s
 			}
+			for _, node := range b.Nodes {
+				s = scan(s, node, nil)
+			}
+			return s
+		},
+		Merge: func(a, b int) int {
+			if a == 0 {
+				return b
+			}
+			if b == 0 {
+				return a
+			}
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Equal: func(a, b int) bool { return a == b },
+	}
+	in := cfg.Solve(g, prob)
+
+	var pos token.Pos
+	var desc string
+	for _, blk := range g.Blocks {
+		s := in[blk.Index]
+		if s == 0 || blk == g.Epilogue() {
+			continue
 		}
-		return true
-	})
-	if blockPos == 0 {
-		return 0, "", false
+		for _, node := range blk.Nodes {
+			s = scan(s, node, func(p token.Pos, d string) {
+				if pos == 0 || p < pos {
+					pos, desc = p, d
+				}
+			})
+		}
 	}
-	if minGuard != 0 && minGuard < blockPos {
-		return 0, "", false
-	}
-	return blockPos, blockDesc, true
+	return pos, desc, pos != 0
 }
 
 func isDeadlineGuard(pass *Pass, call *ast.CallExpr) bool {
@@ -190,7 +238,7 @@ func exportDeadline(pass *Pass) error {
 				if obj == nil || pass.Facts.HasFact(obj, FactBlocking) {
 					continue
 				}
-				if _, _, blocked := firstUnguardedBlock(pass, fn.Body); blocked {
+				if _, _, blocked := firstUnguardedBlock(pass, fn.Name.Name, fn.Body); blocked {
 					pass.Facts.ExportFact(obj, FactBlocking)
 					added = true
 				}
@@ -215,7 +263,7 @@ func runDeadline(pass *Pass) error {
 			if recv := receiverBaseType(pass, fn); recv != nil && (isConnLike(recv) || isListenerLike(recv)) {
 				continue
 			}
-			if pos, desc, blocked := firstUnguardedBlock(pass, fn.Body); blocked {
+			if pos, desc, blocked := firstUnguardedBlock(pass, fn.Name.Name, fn.Body); blocked {
 				pass.Reportf(pos,
 					"%s can park forever; arm SetDeadline/SetReadDeadline or select on ctx.Done() first", desc)
 			}

@@ -184,7 +184,7 @@ func Relay(c net.Conn, p []byte) (int, error) {
 	suite := []*Analyzer{Deadline}
 	facts := NewFactSet()
 	for _, pkg := range []*Package{helper, target} {
-		if err := exportFacts(pkg, suite, facts); err != nil {
+		if err := exportFacts(pkg, suite, facts, nil, nil); err != nil {
 			t.Fatalf("export facts on %s: %v", pkg.Path, err)
 		}
 	}
@@ -192,12 +192,12 @@ func Relay(c net.Conn, p []byte) (int, error) {
 		t.Fatal("no facts exported for the blocking transport helper")
 	}
 
-	diags, err := diagnose(helper, suite, facts)
+	diags, _, err := diagnose(helper, suite, facts, nil)
 	if err != nil || len(diags) != 0 {
 		t.Fatalf("transport (non-target) diags = %v, %v; want none", diags, err)
 	}
 
-	diags, err = diagnose(target, suite, facts)
+	diags, _, err = diagnose(target, suite, facts, nil)
 	if err != nil || len(diags) != 1 {
 		t.Fatalf("gateway diags = %v, %v; want exactly one", diags, err)
 	}
@@ -205,8 +205,47 @@ func Relay(c net.Conn, p []byte) (int, error) {
 		t.Fatalf("gateway diag = %v; want the Pump call on line 10", diags[0])
 	}
 
-	diags, err = diagnose(target, suite, NewFactSet())
+	diags, _, err = diagnose(target, suite, NewFactSet(), nil)
 	if err != nil || len(diags) != 0 {
 		t.Fatalf("factless diags = %v, %v; want none (the finding must flow from the fact)", diags, err)
 	}
+}
+
+// A guard armed on only one branch does not dominate the blocking call: the
+// old source-order scan accepted any guard textually before the call and
+// missed exactly this shape. Guards on every branch of the split do cover
+// the join.
+func TestDeadlinePathSensitiveGuard(t *testing.T) {
+	const src = `package serving
+
+import (
+	"net"
+	"time"
+)
+
+func HalfGuarded(c net.Conn, p []byte, armed bool) (int, error) {
+	if armed {
+		if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Read(p)
+}
+
+func BothGuarded(c net.Conn, p []byte, short bool) (int, error) {
+	if short {
+		if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+			return 0, err
+		}
+	} else {
+		if err := c.SetReadDeadline(time.Now().Add(time.Minute)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Read(p)
+}
+`
+	checkAnalyzer(t, Deadline, "cadmc/fx/internal/serving", src, []want{
+		{line: 14, message: "Read on a connection"},
+	})
 }

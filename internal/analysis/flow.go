@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// flowFunc is one unit of intraprocedural flow analysis: a function
+// declaration or a function literal. Literals are analyzed as independent
+// functions — the CFG of the enclosing function treats them as opaque
+// values — so a goroutine body gets its own graph.
+type flowFunc struct {
+	// Name labels the CFG: the declared name, or funclit@<line>.
+	Name string
+	Body *ast.BlockStmt
+}
+
+// flowFuncs enumerates every function body in the pass's files in source
+// order: declarations first, then the literals nested inside them (also in
+// source order). The order is deterministic, so diagnostics produced by
+// walking it are too.
+func flowFuncs(pass *Pass) []flowFunc {
+	var out []flowFunc
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, flowFunc{Name: fd.Name.Name, Body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					line := pass.Fset.Position(lit.Pos()).Line
+					out = append(out, flowFunc{
+						Name: fd.Name.Name + "@funclit" + itoa(line),
+						Body: lit.Body,
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// itoa is strconv.Itoa for small positive line numbers without the import.
+func itoa(n int) string {
+	if n <= 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// syncMethod reports whether call invokes a method of the sync package
+// (sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Locker, ...), returning
+// the receiver expression and the method name. Only selector calls count:
+// method values passed around are out of scope for flow analysis.
+func syncMethod(pass *Pass, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	return sel.X, fn.Name(), true
+}

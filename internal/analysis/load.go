@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"cadmc/internal/analysis/cfg"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -24,6 +26,16 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// cfgs caches per-function control-flow graphs, shared by every
+	// flow-sensitive analyzer pass over this package (see Pass.CFG).
+	// Construction is race-free by phase structure: the export phase runs
+	// serially, and each package's diagnostic passes run inside a single
+	// worker.
+	cfgs map[*ast.BlockStmt]*cfg.Graph
+	// cfgBuildNS accumulates CFG construction time when a timing clock is
+	// injected (cadmc-vet -timings).
+	cfgBuildNS int64
 }
 
 // Loader parses and type-checks packages of one module without any

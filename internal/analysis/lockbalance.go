@@ -1,0 +1,384 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"cadmc/internal/analysis/cfg"
+)
+
+// LockBalance verifies that every sync.Mutex / sync.RWMutex acquire is
+// balanced by a release on every path out of the function, using the
+// per-function CFG: an early return that skips the unlock, a panic with no
+// deferred unlock, a second Lock while the mutex is definitely held, and an
+// Unlock with the mutex definitely not held are all flagged. Deferred
+// unlocks are modeled through the CFG's defers epilogue, so the canonical
+// lock-then-defer pattern (and unlocks inside deferred closures) is legal
+// on every path including panics. TryLock/TryRLock make a mutex's state
+// path-correlated with the call's result, which an intraprocedural lattice
+// cannot track — those mutexes are left alone entirely.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "mutex Lock/Unlock must balance on every path out of the function",
+	Run:  runLockBalance,
+}
+
+// lockEvent is one state-relevant point inside a CFG block, in evaluation
+// order: a lock-family call, a return, or an explicit panic.
+type lockEvent struct {
+	kind lockEventKind
+	pos  token.Pos
+	key  *lockKey // set for lockCall events
+	call *lockCall
+}
+
+type lockEventKind int
+
+const (
+	lockEvCall lockEventKind = iota
+	lockEvReturn
+	lockEvPanic
+)
+
+type lockCall struct {
+	method  string
+	acquire bool
+	read    bool
+}
+
+// lockKey identifies one tracked mutex inside one function by the spelling
+// of its receiver path (plus a "/r" suffix for the read side of an
+// RWMutex, which balances independently of the write side).
+type lockKey struct {
+	id   string
+	disp string // receiver spelling for messages, e.g. "s.mu"
+	read bool
+	// local is true when the mutex is a plain identifier declared inside
+	// the analyzed body: such a mutex starts definitely unlocked. Fields,
+	// parameters and captures start unknown — the caller may hold them
+	// (caller-holds-lock helpers are a legitimate pattern).
+	local bool
+	// firstAcquire anchors fall-off-the-end findings.
+	firstAcquire token.Pos
+	// deferReleased is true when the defers epilogue releases this key, so
+	// return and panic paths are covered.
+	deferReleased bool
+	// syncReleased is true when some ordinary (non-epilogue) block releases
+	// this key. Held-at-exit findings on non-local mutexes require it:
+	// without any release in the body the function is a deliberate lock
+	// wrapper (a locked accessor), not an unbalanced path.
+	syncReleased bool
+	// tainted disables the key: TryLock path-correlation or an unstable
+	// receiver (indexing or a call in the path).
+	tainted bool
+}
+
+// Possible lock statuses as a two-bit may-set.
+const (
+	lockMayU uint8 = 1 << iota // may be unlocked
+	lockMayL                   // may be locked
+)
+
+// lockClassify maps a sync-package method name onto the tracked operations.
+func lockClassify(name string) (c lockCall, ok bool) {
+	switch name {
+	case "Lock":
+		return lockCall{method: name, acquire: true}, true
+	case "Unlock":
+		return lockCall{method: name}, true
+	case "RLock":
+		return lockCall{method: name, acquire: true, read: true}, true
+	case "RUnlock":
+		return lockCall{method: name, read: true}, true
+	}
+	return lockCall{}, false
+}
+
+// lockUnstableRecv reports whether the receiver path contains an index or a
+// call: two occurrences of the same spelling may then denote different
+// mutexes, so the spelling is not a sound state key.
+func lockUnstableRecv(recv ast.Expr) bool {
+	unstable := false
+	ast.Inspect(recv, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr, *ast.IndexExpr:
+			unstable = true
+		}
+		return !unstable
+	})
+	return unstable
+}
+
+func runLockBalance(pass *Pass) error {
+	for _, fn := range flowFuncs(pass) {
+		lockBalanceFunc(pass, fn)
+	}
+	return nil
+}
+
+func lockBalanceFunc(pass *Pass, fn flowFunc) {
+	g := pass.CFG(fn.Name, fn.Body)
+	keys := make(map[string]*lockKey)
+	events := make([][]lockEvent, len(g.Blocks))
+
+	intern := func(recv ast.Expr, c lockCall, pos token.Pos) *lockKey {
+		disp := types.ExprString(recv)
+		id := disp
+		if c.read {
+			id += "/r"
+		}
+		k := keys[id]
+		if k == nil {
+			obj := baseIdentObj(pass, recv)
+			_, plain := recv.(*ast.Ident)
+			k = &lockKey{
+				id:    id,
+				disp:  disp,
+				read:  c.read,
+				local: plain && declaredWithin(obj, fn.Body.Pos(), fn.Body.End()),
+			}
+			keys[id] = k
+		}
+		if c.acquire && !k.firstAcquire.IsValid() {
+			k.firstAcquire = pos
+		}
+		if lockUnstableRecv(recv) {
+			k.tainted = true
+		}
+		return k
+	}
+
+	for _, blk := range g.Blocks {
+		inEpilogue := blk == g.Epilogue()
+		for _, node := range blk.Nodes {
+			cfg.WalkNode(node, inEpilogue, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv, name, ok := syncMethod(pass, call)
+				if !ok {
+					return true
+				}
+				if name == "TryLock" || name == "TryRLock" {
+					c := lockCall{read: name == "TryRLock"}
+					intern(recv, c, call.Pos()).tainted = true
+					return true
+				}
+				c, ok := lockClassify(name)
+				if !ok {
+					return true
+				}
+				cc := c
+				k := intern(recv, cc, call.Pos())
+				events[blk.Index] = append(events[blk.Index], lockEvent{
+					kind: lockEvCall, pos: call.Pos(), key: k, call: &cc,
+				})
+				if !cc.acquire {
+					if inEpilogue {
+						k.deferReleased = true
+					} else {
+						k.syncReleased = true
+					}
+				}
+				return true
+			})
+			switch s := node.(type) {
+			case *ast.ReturnStmt:
+				events[blk.Index] = append(events[blk.Index], lockEvent{kind: lockEvReturn, pos: s.Pos()})
+			case *ast.ExprStmt:
+				if isPanicCall(pass, s.X) {
+					events[blk.Index] = append(events[blk.Index], lockEvent{kind: lockEvPanic, pos: s.Pos()})
+				}
+			}
+		}
+	}
+
+	tracked := make([]*lockKey, 0, len(keys))
+	for _, k := range keys {
+		if !k.tainted {
+			tracked = append(tracked, k)
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+	sort.Slice(tracked, func(i, j int) bool { return tracked[i].id < tracked[j].id })
+
+	boundary := func() map[string]uint8 {
+		s := make(map[string]uint8, len(tracked))
+		for _, k := range tracked {
+			if k.local {
+				s[k.id] = lockMayU
+			} else {
+				s[k.id] = lockMayU | lockMayL
+			}
+		}
+		return s
+	}
+
+	// apply replays one block's events over a state, invoking report (when
+	// non-nil) at each event with the state in force just before it. The
+	// same function drives the fixpoint transfer and the reporting pass, so
+	// the two cannot drift apart.
+	apply := func(blk *cfg.Block, s map[string]uint8, report func(lockEvent, map[string]uint8)) map[string]uint8 {
+		for _, ev := range events[blk.Index] {
+			if ev.key != nil && ev.key.tainted {
+				continue
+			}
+			if report != nil {
+				report(ev, s)
+			}
+			if ev.kind == lockEvCall {
+				if ev.call.acquire {
+					s[ev.key.id] = lockMayL
+				} else {
+					s[ev.key.id] = lockMayU
+				}
+			}
+		}
+		return s
+	}
+
+	prob := cfg.Problem[map[string]uint8]{
+		Dir:      cfg.Forward,
+		Boundary: boundary,
+		Init:     func() map[string]uint8 { return nil }, // nil = unreached
+		Transfer: func(b *cfg.Block, s map[string]uint8) map[string]uint8 {
+			if s == nil {
+				return nil
+			}
+			out := make(map[string]uint8, len(s))
+			for k, v := range s {
+				out[k] = v
+			}
+			return apply(b, out, nil)
+		},
+		Merge: func(a, b map[string]uint8) map[string]uint8 {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			out := make(map[string]uint8, len(a))
+			for k, v := range a {
+				out[k] = v | b[k]
+			}
+			return out
+		},
+		Equal: func(a, b map[string]uint8) bool {
+			if (a == nil) != (b == nil) || len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	in := cfg.Solve(g, prob)
+
+	leaked := func(s map[string]uint8, report func(k *lockKey)) {
+		for _, k := range tracked {
+			if s[k.id] == lockMayL && !k.deferReleased && (k.local || k.syncReleased) {
+				report(k)
+			}
+		}
+	}
+	unlockVerb := func(k *lockKey) string {
+		if k.read {
+			return "RUnlock"
+		}
+		return "Unlock"
+	}
+
+	for _, blk := range g.Blocks {
+		if in[blk.Index] == nil {
+			continue // unreachable
+		}
+		s := make(map[string]uint8, len(in[blk.Index]))
+		for k, v := range in[blk.Index] {
+			s[k] = v
+		}
+		apply(blk, s, func(ev lockEvent, s map[string]uint8) {
+			switch ev.kind {
+			case lockEvCall:
+				k := ev.key
+				switch {
+				case ev.call.acquire && !ev.call.read && s[k.id] == lockMayL:
+					pass.Reportf(ev.pos, "%s.Lock is called with %s already locked on every path to this point; Go mutexes are not reentrant, this deadlocks", k.disp, k.disp)
+				case !ev.call.acquire && s[k.id] == lockMayU:
+					pass.Reportf(ev.pos, "%s.%s releases a lock that is not held on any path to this point", k.disp, ev.call.method)
+				}
+			case lockEvReturn:
+				leaked(s, func(k *lockKey) {
+					pass.Reportf(ev.pos, "return leaves %s locked; %s before returning or defer the unlock right after the %s", k.disp, unlockVerb(k), acquireVerb(k))
+				})
+			case lockEvPanic:
+				leaked(s, func(k *lockKey) {
+					pass.Reportf(ev.pos, "panic leaves %s locked: only a deferred %s releases it on panic paths", k.disp, unlockVerb(k))
+				})
+			}
+		})
+		// A block flowing into the epilogue without a return or panic is the
+		// implicit return at the end of the body.
+		if fallsOffEnd(g, blk, events[blk.Index]) {
+			leaked(s, func(k *lockKey) {
+				pos := k.firstAcquire
+				if !pos.IsValid() {
+					return
+				}
+				pass.Reportf(pos, "%s is locked here but still held when %s falls off the end of the function; add the missing %s", k.disp, fn.Name, unlockVerb(k))
+			})
+		}
+	}
+}
+
+func acquireVerb(k *lockKey) string {
+	if k.read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// fallsOffEnd reports whether blk reaches the defers epilogue by falling
+// off the end of the body rather than via an explicit return or panic.
+func fallsOffEnd(g *cfg.Graph, blk *cfg.Block, evs []lockEvent) bool {
+	if blk == g.Epilogue() {
+		return false
+	}
+	toEpilogue := false
+	for _, s := range blk.Succs {
+		if s == g.Epilogue() {
+			toEpilogue = true
+		}
+	}
+	if !toEpilogue {
+		return false
+	}
+	for _, ev := range evs {
+		if ev.kind == lockEvReturn || ev.kind == lockEvPanic {
+			return false
+		}
+	}
+	return true
+}
+
+// isPanicCall reports whether e is a call of the predeclared panic.
+func isPanicCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, builtin := pass.Info.Uses[id].(*types.Builtin)
+	return builtin
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import "testing"
+
+func TestLockBalanceEarlyReturn(t *testing.T) {
+	const src = `package lb
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) bad(x bool) int {
+	s.mu.Lock()
+	if x {
+		return -1
+	}
+	s.mu.Unlock()
+	return s.n
+}
+`
+	checkAnalyzer(t, LockBalance, "example.com/lb", src, []want{
+		{line: 13, message: "return leaves s.mu locked"},
+	})
+}
+
+func TestLockBalancePanicPath(t *testing.T) {
+	const src = `package lb
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) bad() {
+	s.mu.Lock()
+	if s.n > 0 {
+		panic("negative count")
+	}
+	s.mu.Unlock()
+}
+`
+	checkAnalyzer(t, LockBalance, "example.com/lb", src, []want{
+		{line: 13, message: "panic leaves s.mu locked"},
+	})
+}
+
+func TestLockBalanceDoubleLock(t *testing.T) {
+	const src = `package lb
+
+import "sync"
+
+func double() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+}
+`
+	checkAnalyzer(t, LockBalance, "example.com/lb", src, []want{
+		{line: 8, message: "already locked on every path"},
+	})
+}
+
+func TestLockBalanceUnlockWithoutLock(t *testing.T) {
+	const src = `package lb
+
+import "sync"
+
+func loose() {
+	var mu sync.Mutex
+	mu.Unlock()
+}
+`
+	checkAnalyzer(t, LockBalance, "example.com/lb", src, []want{
+		{line: 7, message: "releases a lock that is not held"},
+	})
+}
+
+func TestLockBalanceReadSide(t *testing.T) {
+	const src = `package lb
+
+import "sync"
+
+type R struct {
+	rw sync.RWMutex
+	n  int
+}
+
+func (r *R) read(x bool) int {
+	r.rw.RLock()
+	if x {
+		return 0
+	}
+	v := r.n
+	r.rw.RUnlock()
+	return v
+}
+`
+	checkAnalyzer(t, LockBalance, "example.com/lb", src, []want{
+		{line: 13, message: "RUnlock before returning"},
+	})
+}
+
+// The legal patterns: deferred unlock (covers returns and panics), branch
+// unlock-then-return, unlock inside a deferred closure, caller-holds-lock
+// helpers on a field mutex, and TryLock (path-correlated, left alone).
+func TestLockBalanceCleanPatterns(t *testing.T) {
+	const src = `package lb
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) deferred(x bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if x {
+		return -1
+	}
+	return s.n
+}
+
+func (s *S) branches(x bool) int {
+	s.mu.Lock()
+	if x {
+		s.mu.Unlock()
+		return -1
+	}
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+func (s *S) closing() {
+	s.mu.Lock()
+	defer func() {
+		s.n = 0
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// kill mutates state the caller already guards; helpers like this must not
+// be mistaken for an unlock imbalance.
+func (s *S) kill() {
+	s.n = 0
+}
+
+func (s *S) release() {
+	s.mu.Unlock()
+}
+
+func try(mu *sync.Mutex) bool {
+	if mu.TryLock() {
+		defer mu.Unlock()
+		return true
+	}
+	return false
+}
+`
+	checkAnalyzer(t, LockBalance, "example.com/lb", src, nil)
+}
+
+func TestLockBalanceGoroutineBody(t *testing.T) {
+	const src = `package lb
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) spawn(x bool) {
+	go func() {
+		s.mu.Lock()
+		if x {
+			return
+		}
+		s.n++
+		s.mu.Unlock()
+	}()
+}
+`
+	checkAnalyzer(t, LockBalance, "example.com/lb", src, []want{
+		{line: 14, message: "return leaves s.mu locked"},
+	})
+}
+
+func TestLockBalanceAllow(t *testing.T) {
+	const src = `package lb
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+}
+
+func (s *S) handoff(x bool) {
+	s.mu.Lock()
+	if x {
+		//cadmc:allow lockbalance -- lock handed to caller on this branch
+		return
+	}
+	s.mu.Unlock()
+}
+`
+	checkAnalyzer(t, LockBalance, "example.com/lb", src, nil)
+}

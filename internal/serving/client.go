@@ -121,6 +121,7 @@ func (c *Client) Offload(modelID string, cut int, act *tensor.Tensor) ([]float64
 		}()
 	}
 	if c.codec == nil {
+		//cadmc:allow deadline -- Timeout==0 is the documented unbounded mode; the conn deadline above covers every configured path
 		cd, err := negotiate(c.conn, c.Wire, DefaultMaxPayloadElems, c.sink, realNowNS(c.sink))
 		if err != nil {
 			c.broken = true

@@ -257,6 +257,7 @@ func (c *ResilientClient) Offload(modelID string, cut int, act *tensor.Tensor) (
 			return nil, ErrCircuitOpen
 		}
 		c.count(metricOffloadAttempts, 1)
+		//cadmc:allow deadline -- attempt arms the conn deadline itself whenever a timeout is configured; Timeout==0 is the documented unbounded mode
 		logits, err := c.attempt(req, c.opts.Timeout)
 		if err == nil {
 			c.breaker.Success()
@@ -343,6 +344,7 @@ func (c *ResilientClient) OffloadWithin(modelID string, cut int, act *tensor.Ten
 			timeout = remaining
 		}
 		c.count(metricOffloadAttempts, 1)
+		//cadmc:allow deadline -- timeout is clamped to the positive remaining budget just above; attempt arms the conn deadline from it
 		logits, err := c.attempt(req, timeout)
 		if err == nil {
 			c.breaker.Success()

@@ -123,6 +123,7 @@ func (s *Server) Serve(lis net.Listener) error {
 		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
+			//cadmc:allow deadline -- handle arms a per-frame read deadline whenever IdleTimeout is configured, and Close force-closes live conns to unblock the rest
 			s.handle(conn)
 		}()
 	}

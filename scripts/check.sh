@@ -20,8 +20,18 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== cadmc-vet ./...  (nine analyzers, cross-package facts, baseline gate)"
+echo "== cadmc-vet ./...  (twelve analyzers, cross-package facts, baseline gate)"
 go run ./cmd/cadmc-vet -json -baseline vet-baseline.json ./... > /dev/null
+
+echo "== cadmc-vet determinism (flow-sensitive diagnostics must be bit-identical at any GOMAXPROCS)"
+vet_base=$(mktemp) vet_got=$(mktemp)
+GOMAXPROCS=1 go run ./cmd/cadmc-vet -json ./... > "$vet_base" || true
+for procs in 4 8; do
+    GOMAXPROCS=$procs go run ./cmd/cadmc-vet -json ./... > "$vet_got" || true
+    diff -u "$vet_base" "$vet_got"
+done
+rm -f "$vet_base" "$vet_got"
+go test -count=1 -run 'TestRunAllDeterministic' ./internal/analysis
 
 echo "== go test -race ./..."
 go test -race ./...
