@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// Review repro: a WaitGroup declared INSIDE a spawned goroutine's body is a
+// perfectly balanced local wave; the outer function's pass should not flag it.
+func TestReviewWGLocalToGoroutine(t *testing.T) {
+	const src = `package p
+
+import "sync"
+
+func Spawn() {
+	go func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			wg.Done()
+		}()
+		wg.Wait()
+	}()
+}
+`
+	checkAnalyzer(t, WGBalance, "cadmc/internal/p", src, nil)
+}
